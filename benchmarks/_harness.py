@@ -1,0 +1,130 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark module regenerates one of the paper's figures (or the
+Section 4 "table" of theoretical properties).  Absolute numbers differ
+from the paper — the datasets are synthetic and the budget is laptop
+scale — but each module prints the same *series* the paper plots so the
+qualitative shape (who converges, who wins, by roughly what margin) can
+be compared directly.
+
+Scaling
+-------
+By default the benchmarks run a scaled-down configuration so the whole
+suite finishes in minutes.  Set the environment variable
+``REPRO_BENCH_PAPER=1`` to use the paper's configuration (10 clients,
+longer training); expect a much longer run time.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.learning.experiment import ExperimentConfig, run_experiment
+from repro.learning.history import TrainingHistory
+
+#: True when the paper-scale configuration is requested.
+PAPER_SCALE = os.environ.get("REPRO_BENCH_PAPER", "0") not in ("", "0", "false", "False")
+
+
+def scaled(small, paper):
+    """Pick the scaled-down or paper-scale value of a parameter."""
+    return paper if PAPER_SCALE else small
+
+
+@dataclass
+class FigureSpec:
+    """One figure: a set of named experiment configurations."""
+
+    figure_id: str
+    description: str
+    configs: Dict[str, ExperimentConfig]
+
+    def run(self) -> Dict[str, TrainingHistory]:
+        """Run every configuration and return the histories by label."""
+        return {label: run_experiment(config) for label, config in self.configs.items()}
+
+
+def accuracy_table(histories: Dict[str, TrainingHistory], *, every: int = 1) -> str:
+    """Render accuracy-vs-round series as a plain-text table.
+
+    One row per algorithm, one column every ``every`` recorded rounds plus
+    the final value — the same series the paper's figures plot.
+    """
+    lines: List[str] = []
+    header_done = False
+    for label, history in histories.items():
+        accs = history.accuracies()
+        cols = accs[::every]
+        if cols and accs[-1] != cols[-1]:
+            cols.append(accs[-1])
+        if not header_done:
+            rounds = list(range(0, history.rounds, every))
+            if rounds and rounds[-1] != history.rounds - 1:
+                rounds.append(history.rounds - 1)
+            lines.append("round      " + "  ".join(f"{r:>6d}" for r in rounds))
+            header_done = True
+        lines.append(f"{label:<10s} " + "  ".join(f"{a:6.3f}" for a in cols))
+    return "\n".join(lines)
+
+
+def summary_table(histories: Dict[str, TrainingHistory]) -> str:
+    """Final/best accuracy summary table (one row per algorithm)."""
+    lines = [f"{'algorithm':<12s} {'final_acc':>9s} {'best_acc':>9s} {'final_loss':>10s}"]
+    for label, history in histories.items():
+        final_loss = history.losses()[-1] if history.records else float("nan")
+        lines.append(
+            f"{label:<12s} {history.final_accuracy():9.3f} {history.best_accuracy():9.3f} "
+            f"{final_loss:10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def print_report(figure_id: str, description: str, body: str) -> None:
+    """Print a benchmark report block with a recognisable banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n[{figure_id}] {description}\n{banner}\n{body}\n")
+
+
+def centralized_config(**overrides) -> ExperimentConfig:
+    """Scaled centralized base configuration shared by FIG1/2 benches."""
+    base = ExperimentConfig(
+        setting="centralized",
+        dataset="mnist",
+        heterogeneity="mild",
+        aggregation="box-geom",
+        attack="sign-flip",
+        num_clients=10,
+        num_byzantine=1,
+        rounds=scaled(40, 150),
+        num_samples=scaled(800, 6000),
+        batch_size=scaled(16, 32),
+        learning_rate=scaled(0.05, 0.01),
+        mlp_hidden=scaled((32, 16), (128, 64)),
+        seed=7,
+    )
+    return base.with_overrides(**overrides)
+
+
+def decentralized_config(**overrides) -> ExperimentConfig:
+    """Scaled decentralized base configuration shared by FIG3 benches."""
+    base = ExperimentConfig(
+        setting="decentralized",
+        dataset="mnist",
+        heterogeneity="mild",
+        aggregation="box-geom",
+        attack="sign-flip",
+        num_clients=scaled(7, 10),
+        num_byzantine=1,
+        rounds=scaled(35, 150),
+        num_samples=scaled(560, 6000),
+        batch_size=scaled(16, 32),
+        learning_rate=scaled(0.05, 0.01),
+        mlp_hidden=scaled((16, 8), (128, 64)),
+        # Cap the subset enumeration so the hyperbox/MD searches stay
+        # laptop-fast at gradient dimensionality.
+        aggregation_kwargs={"max_subsets": scaled(10, 45)},
+        seed=7,
+    )
+    return base.with_overrides(**overrides)

@@ -1,0 +1,60 @@
+"""FIG1 — centralized collaborative learning, MLP, f = 1 sign flip,
+across the three data-heterogeneity regimes.
+
+Paper reference: Figure 1.  Expected shape: MD-MEAN, MD-GEOM, BOX-MEAN
+and BOX-GEOM all reach high accuracy under uniform and mild
+heterogeneity; Krum and Multi-Krum keep up on uniform/mild data but
+collapse under extreme (2-class) heterogeneity because they select only
+one / three input vectors.
+
+Run ``pytest benchmarks/bench_fig1_centralized_heterogeneity.py
+--benchmark-only -s`` to see the regenerated accuracy series; set
+``REPRO_BENCH_PAPER=1`` for the paper-scale configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import (
+    FigureSpec,
+    accuracy_table,
+    centralized_config,
+    print_report,
+    summary_table,
+)
+
+ALGORITHMS = ("md-mean", "md-geom", "box-mean", "box-geom", "krum", "multi-krum")
+HETEROGENEITIES = ("uniform", "mild", "extreme")
+
+
+def _figure(heterogeneity: str) -> FigureSpec:
+    configs = {
+        name: centralized_config(aggregation=name, heterogeneity=heterogeneity)
+        for name in ALGORITHMS
+    }
+    return FigureSpec(
+        figure_id=f"FIG1[{heterogeneity}]",
+        description=(
+            "Centralized, MLP, synthetic MNIST, f=1 sign flip, "
+            f"{heterogeneity} heterogeneity"
+        ),
+        configs=configs,
+    )
+
+
+@pytest.mark.parametrize("heterogeneity", HETEROGENEITIES)
+def test_fig1_centralized_heterogeneity(benchmark, heterogeneity):
+    """Regenerate one panel of Figure 1 and report the accuracy series."""
+    spec = _figure(heterogeneity)
+    histories = benchmark.pedantic(spec.run, rounds=1, iterations=1)
+    print_report(
+        spec.figure_id,
+        spec.description,
+        accuracy_table(histories, every=max(1, len(next(iter(histories.values())).records) // 6))
+        + "\n\n"
+        + summary_table(histories),
+    )
+    # Sanity: every algorithm produced a full history.
+    for history in histories.values():
+        assert history.rounds == next(iter(histories.values())).rounds

@@ -1,0 +1,53 @@
+"""FIG2a — centralized, MLP, extreme heterogeneity, f = 2 sign-flip attackers.
+
+Paper reference: Figure 2a.  Expected shape: MD-MEAN fails to converge,
+MD-GEOM reaches the best accuracy but is unstable, BOX-MEAN and BOX-GEOM
+converge to a middling accuracy, Krum and Multi-Krum converge but at low
+accuracy (~30-40%).
+"""
+
+from __future__ import annotations
+
+from _harness import (
+    FigureSpec,
+    accuracy_table,
+    centralized_config,
+    print_report,
+    scaled,
+    summary_table,
+)
+
+ALGORITHMS = ("md-mean", "md-geom", "box-mean", "box-geom", "krum", "multi-krum")
+
+
+def _figure() -> FigureSpec:
+    configs = {
+        name: centralized_config(
+            aggregation=name,
+            heterogeneity="extreme",
+            num_byzantine=2,
+            byzantine_tolerance=2,
+            rounds=scaled(40, 200),
+        )
+        for name in ALGORITHMS
+    }
+    return FigureSpec(
+        figure_id="FIG2A",
+        description="Centralized, MLP, extreme heterogeneity, f=2 sign flip",
+        configs=configs,
+    )
+
+
+def test_fig2a_centralized_extreme_f2(benchmark):
+    """Regenerate Figure 2a and report the accuracy series."""
+    spec = _figure()
+    histories = benchmark.pedantic(spec.run, rounds=1, iterations=1)
+    print_report(
+        spec.figure_id,
+        spec.description,
+        accuracy_table(histories, every=max(1, len(next(iter(histories.values())).records) // 6))
+        + "\n\n"
+        + summary_table(histories),
+    )
+    for history in histories.values():
+        assert history.num_byzantine == 2

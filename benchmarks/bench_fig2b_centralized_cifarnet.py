@@ -1,0 +1,51 @@
+"""FIG2b — centralized, CifarNet, synthetic CIFAR10, f = 1, mild heterogeneity.
+
+Paper reference: Figure 2b.  Expected shape: the four agreement-based
+rules (BOX-GEOM, BOX-MEAN, MD-GEOM, MD-MEAN) end close together,
+Multi-Krum slightly below them, Krum clearly worst.
+"""
+
+from __future__ import annotations
+
+from _harness import (
+    FigureSpec,
+    accuracy_table,
+    centralized_config,
+    print_report,
+    scaled,
+    summary_table,
+)
+
+ALGORITHMS = ("md-mean", "md-geom", "box-mean", "box-geom", "krum", "multi-krum")
+
+
+def _figure() -> FigureSpec:
+    configs = {
+        name: centralized_config(
+            aggregation=name,
+            dataset="cifar10",
+            heterogeneity="mild",
+            rounds=scaled(8, 200),
+            num_samples=scaled(400, 6000),
+            batch_size=scaled(8, 32),
+        )
+        for name in ALGORITHMS
+    }
+    return FigureSpec(
+        figure_id="FIG2B",
+        description="Centralized, CifarNet, synthetic CIFAR10, f=1 sign flip, mild heterogeneity",
+        configs=configs,
+    )
+
+
+def test_fig2b_centralized_cifarnet(benchmark):
+    """Regenerate Figure 2b and report the accuracy series."""
+    spec = _figure()
+    histories = benchmark.pedantic(spec.run, rounds=1, iterations=1)
+    print_report(
+        spec.figure_id,
+        spec.description,
+        accuracy_table(histories) + "\n\n" + summary_table(histories),
+    )
+    for history in histories.values():
+        assert history.rounds >= 1

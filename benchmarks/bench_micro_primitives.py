@@ -1,0 +1,74 @@
+"""MICRO — throughput of the geometric primitives.
+
+Not a figure of the paper; supporting micro-benchmarks for the
+performance-sensitive building blocks (Weiszfeld, hyperbox rules, MD
+subset search, Krum, minimum covering ball) at gradient-like
+dimensionality.  Useful to track regressions when optimising.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _harness import scaled
+
+from repro.aggregation.hyperbox_rules import HyperboxGeometricMedian, HyperboxMean
+from repro.aggregation.krum import Krum
+from repro.aggregation.mda import MinimumDiameterGeometricMedian
+from repro.linalg.covering_ball import minimum_covering_ball
+from repro.linalg.geometric_median import geometric_median
+
+N_CLIENTS = 10
+T = 1
+DIM = scaled(2_000, 50_000)
+
+
+@pytest.fixture(scope="module")
+def gradient_stack():
+    rng = np.random.default_rng(0)
+    honest = rng.normal(0.0, 1.0, size=(N_CLIENTS - T, DIM))
+    byz = -5.0 * honest.mean(axis=0, keepdims=True).repeat(T, axis=0)
+    return np.vstack([honest, byz])
+
+
+def test_weiszfeld_geometric_median(benchmark, gradient_stack):
+    """Weiszfeld on a full stack of gradient-sized vectors."""
+    result = benchmark(lambda: geometric_median(gradient_stack, max_iter=50))
+    assert result.shape == (DIM,)
+
+
+def test_box_geom_one_shot(benchmark, gradient_stack):
+    """One BOX-GEOM aggregation (trusted box + C(m, n-t) subset medians)."""
+    rule = HyperboxGeometricMedian(n=N_CLIENTS, t=T, max_iter=25)
+    result = benchmark(lambda: rule.aggregate(gradient_stack))
+    assert result.shape == (DIM,)
+
+
+def test_box_mean_one_shot(benchmark, gradient_stack):
+    """One BOX-MEAN aggregation."""
+    rule = HyperboxMean(n=N_CLIENTS, t=T)
+    result = benchmark(lambda: rule.aggregate(gradient_stack))
+    assert result.shape == (DIM,)
+
+
+def test_md_geom_one_shot(benchmark, gradient_stack):
+    """One MD-GEOM aggregation (minimum-diameter subset + Weiszfeld)."""
+    rule = MinimumDiameterGeometricMedian(n=N_CLIENTS, t=T, max_iter=25)
+    result = benchmark(lambda: rule.aggregate(gradient_stack))
+    assert result.shape == (DIM,)
+
+
+def test_krum_one_shot(benchmark, gradient_stack):
+    """One Krum selection."""
+    rule = Krum(n=N_CLIENTS, t=T)
+    result = benchmark(lambda: rule.aggregate(gradient_stack))
+    assert result.shape == (DIM,)
+
+
+def test_minimum_covering_ball_sgeo_scale(benchmark):
+    """Minimum covering ball of an S_geo-sized candidate cloud."""
+    rng = np.random.default_rng(1)
+    candidates = rng.normal(size=(45, scaled(200, 2_000)))
+    ball = benchmark(lambda: minimum_covering_ball(candidates))
+    assert ball.radius > 0.0

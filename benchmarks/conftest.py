@@ -1,0 +1,8 @@
+"""Pytest configuration for the benchmark suite."""
+
+import sys
+from pathlib import Path
+
+# Make the sibling `_harness` module importable regardless of how pytest
+# sets up rootdir/importmode for the benchmarks directory.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

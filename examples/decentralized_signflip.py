@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Decentralized Byzantine collaborative learning (Figure 3 style).
+
+Every client keeps its own model; gradients are exchanged over a
+simulated reliable-broadcast network and agreed upon with an approximate
+agreement algorithm before each client updates its local model.  One (or
+more) clients run the sign-flip attack in every agreement sub-round.
+
+The paper's headline observation — mean-based agreement (MD-MEAN,
+BOX-MEAN) breaks down under the sign flip while geometric-median-based
+agreement (MD-GEOM, BOX-GEOM) keeps converging — is visible at this
+reduced scale as a gap in final accuracy and in gradient disagreement.
+
+Run with:  python examples/decentralized_signflip.py [--rounds 12] [--byzantine 2]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.learning.experiment import ExperimentConfig, run_decentralized_experiment
+
+ALGORITHMS = ("md-mean", "box-mean", "md-geom", "box-geom")
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=8, help="learning iterations")
+    parser.add_argument("--clients", type=int, default=7, help="number of clients")
+    parser.add_argument("--byzantine", type=int, default=1, help="number of sign-flip attackers")
+    parser.add_argument("--samples", type=int, default=560, help="dataset size")
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    print(
+        f"Decentralized learning: {args.clients} clients, {args.byzantine} sign-flip attacker(s), "
+        f"mild heterogeneity, {args.rounds} iterations (log t agreement sub-rounds each)\n"
+    )
+    for algorithm in ALGORITHMS:
+        config = ExperimentConfig(
+            setting="decentralized",
+            dataset="mnist",
+            heterogeneity="mild",
+            aggregation=algorithm,
+            attack="sign-flip",
+            num_clients=args.clients,
+            num_byzantine=args.byzantine,
+            byzantine_tolerance=max(1, args.byzantine),
+            rounds=args.rounds,
+            num_samples=args.samples,
+            batch_size=16,
+            learning_rate=0.05,
+            mlp_hidden=(16, 8),
+            # Sample the subset enumeration to keep the laptop run fast.
+            aggregation_kwargs={"max_subsets": 10},
+            seed=args.seed,
+        )
+        history = run_decentralized_experiment(config)
+        last = history.records[-1]
+        accs = ", ".join(f"{a:.2f}" for a in history.accuracies())
+        print(f"{algorithm:<10s} mean accuracy per round: [{accs}]")
+        print(
+            f"{'':<10s} final mean accuracy = {history.final_accuracy():.3f}, "
+            f"gradient disagreement after last round = {last.gradient_disagreement:.3e}\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

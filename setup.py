@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file only
+exists so ``pip install -e .`` works on environments whose setuptools
+predates PEP 660 editable installs (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""repro — Approximate Agreement Algorithms for Byzantine Collaborative Learning.
+
+A from-scratch Python reproduction of the SPAA 2025 paper by Cambus,
+Melnyk, Milentijević and Schmid.  The library provides:
+
+- the hyperbox approximate-agreement algorithm for the geometric median
+  (the paper's contribution) plus every baseline it is compared against
+  (``repro.agreement``, ``repro.aggregation``),
+- the geometric-median approximation framework of Section 3
+  (``repro.agreement.metrics``),
+- a synchronous reliable-broadcast network simulator and Byzantine
+  attack models (``repro.network``, ``repro.byzantine``),
+- a pure-NumPy neural-network substrate, synthetic non-i.i.d. datasets
+  and the centralized / decentralized collaborative-learning loops that
+  reproduce the paper's evaluation (``repro.nn``, ``repro.data``,
+  ``repro.learning``), and
+- executable versions of the paper's theoretical constructions
+  (``repro.theory``).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro.core import HyperboxGeometricMedian
+>>> rule = HyperboxGeometricMedian(n=10, t=1)
+>>> vectors = np.random.default_rng(0).normal(size=(10, 5))
+>>> aggregate = rule.aggregate(vectors)
+>>> aggregate.shape
+(5,)
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

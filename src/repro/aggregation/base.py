@@ -1,0 +1,80 @@
+"""Base class for one-shot aggregation rules."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import ensure_matrix
+
+
+class AggregationRule(abc.ABC):
+    """Maps a stack of received vectors to a single aggregate vector.
+
+    Sub-classes implement :meth:`_aggregate` on a validated ``(m, d)``
+    matrix; the public :meth:`aggregate` handles validation, empty-input
+    errors and the trivial single-vector case uniformly.
+
+    Parameters
+    ----------
+    n:
+        Total number of nodes in the system (``None`` means "infer from
+        the number of received vectors", which is adequate for rules that
+        do not depend on the resilience parameters).
+    t:
+        Maximum number of Byzantine nodes tolerated.  Rules that trim or
+        search over ``(n - t)``-subsets require both ``n`` and ``t``.
+    """
+
+    #: Human-readable name used by the registry, plots and reports.
+    name: str = "aggregation"
+
+    def __init__(self, n: Optional[int] = None, t: int = 0) -> None:
+        if n is not None and n < 1:
+            raise ValueError(f"n must be positive, got {n}")
+        if t < 0:
+            raise ValueError(f"t must be non-negative, got {t}")
+        if n is not None and t >= n:
+            raise ValueError(f"t must be smaller than n, got n={n}, t={t}")
+        self.n = n
+        self.t = int(t)
+
+    # -- public API ---------------------------------------------------------
+    def aggregate(self, vectors: np.ndarray) -> np.ndarray:
+        """Aggregate an ``(m, d)`` stack of vectors into a ``(d,)`` vector."""
+        mat = ensure_matrix(vectors, name="vectors", min_rows=1)
+        if mat.shape[0] == 1:
+            return mat[0].copy()
+        return np.asarray(self._aggregate(mat), dtype=np.float64).reshape(-1)
+
+    def __call__(self, vectors: np.ndarray) -> np.ndarray:
+        return self.aggregate(vectors)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n}, t={self.t})"
+
+    # -- helpers for resilience-aware rules ----------------------------------
+    def effective_n(self, received: int) -> int:
+        """System size used for subset computations.
+
+        Rules configured without an explicit ``n`` treat the number of
+        received vectors as the system size.
+        """
+        return int(self.n) if self.n is not None else int(received)
+
+    def honest_subset_size(self, received: int) -> int:
+        """``n - t`` clipped to the number of received vectors."""
+        size = self.effective_n(received) - self.t
+        if size < 1:
+            raise ValueError(
+                f"n - t must be positive (n={self.effective_n(received)}, t={self.t})"
+            )
+        return min(size, received)
+
+    # -- to be provided by sub-classes ---------------------------------------
+    @abc.abstractmethod
+    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
+        """Aggregate a validated ``(m >= 2, d)`` matrix."""
+        raise NotImplementedError

@@ -1,0 +1,72 @@
+"""Mean-family aggregation rules: mean, coordinate-wise median, trimmed mean."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import AggregationRule
+
+
+class Mean(AggregationRule):
+    """Plain arithmetic mean (Definition 2.1).
+
+    Not Byzantine-robust: a single adversarial vector can move the mean
+    arbitrarily far.  Included as the non-robust baseline.
+    """
+
+    name = "mean"
+
+    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
+        return vectors.mean(axis=0)
+
+
+class CoordinatewiseMedian(AggregationRule):
+    """Coordinate-wise median.
+
+    A cheap robust baseline; coincides with the geometric median only in
+    one dimension.
+    """
+
+    name = "cw-median"
+
+    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
+        return np.median(vectors, axis=0)
+
+
+class TrimmedMean(AggregationRule):
+    """Coordinate-wise trimmed mean.
+
+    Per coordinate, drops the ``trim`` smallest and ``trim`` largest
+    values and averages the rest.  When constructed with explicit
+    ``(n, t)`` the trim level defaults to ``m - (n - t)`` per side, i.e.
+    the number of values that could possibly be Byzantine — the same
+    trimming the locally trusted hyperbox performs.
+    """
+
+    name = "trimmed-mean"
+
+    def __init__(self, n=None, t: int = 0, *, trim: int | None = None) -> None:
+        super().__init__(n=n, t=t)
+        if trim is not None and trim < 0:
+            raise ValueError(f"trim must be non-negative, got {trim}")
+        self._explicit_trim = trim
+
+    def trim_level(self, received: int) -> int:
+        """Number of values removed from each side of every coordinate."""
+        if self._explicit_trim is not None:
+            trim = self._explicit_trim
+        else:
+            trim = max(0, received - self.honest_subset_size(received))
+        if 2 * trim >= received:
+            raise ValueError(
+                f"cannot trim {trim} values per side out of {received} vectors"
+            )
+        return trim
+
+    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
+        m = vectors.shape[0]
+        trim = self.trim_level(m)
+        if trim == 0:
+            return vectors.mean(axis=0)
+        ordered = np.sort(vectors, axis=0)
+        return ordered[trim : m - trim].mean(axis=0)

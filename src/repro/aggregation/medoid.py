@@ -1,0 +1,24 @@
+"""Medoid aggregation rule."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aggregation.base import AggregationRule
+from repro.linalg.geometric_median import medoid
+
+
+class Medoid(AggregationRule):
+    """Aggregate with the medoid: the *input* vector minimising the sum
+    of distances to all other inputs.
+
+    Cheaper than the geometric median (no iteration) and always returns
+    one of the received vectors, but El-Mhamdi et al. observed it fails
+    to produce useful models in practice; we include it for completeness
+    and for the counterexample tests.
+    """
+
+    name = "medoid"
+
+    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
+        return medoid(vectors)

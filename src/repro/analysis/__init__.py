@@ -1,0 +1,27 @@
+"""Analysis helpers for experiment traces.
+
+The paper's figures are read qualitatively: which algorithms *converge*,
+which *diverge* or oscillate, and how large the final accuracy gap is.
+This package turns those readings into reproducible numbers so the
+benchmark reports and EXPERIMENTS.md comparisons are computed rather
+than eyeballed.
+"""
+
+from repro.analysis.traces import (
+    TraceSummary,
+    classify_trace,
+    moving_average,
+    relative_gap,
+    summarize_history,
+)
+from repro.analysis.reporting import comparison_table, histories_to_records
+
+__all__ = [
+    "TraceSummary",
+    "classify_trace",
+    "comparison_table",
+    "histories_to_records",
+    "moving_average",
+    "relative_gap",
+    "summarize_history",
+]

@@ -1,0 +1,55 @@
+"""Tabular reporting of experiment results.
+
+Turns a collection of :class:`~repro.learning.history.TrainingHistory`
+objects into plain-text tables and serialisable records — the format
+the benchmark harness prints and EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from repro.analysis.traces import summarize_history
+from repro.learning.history import TrainingHistory
+
+
+def histories_to_records(
+    histories: Mapping[str, TrainingHistory], *, num_classes: int = 10
+) -> List[Dict[str, object]]:
+    """One serialisable record per labelled history (for JSON export)."""
+    records: List[Dict[str, object]] = []
+    for label, history in histories.items():
+        summary = summarize_history(history, num_classes=num_classes)
+        record = dict(history.summary())
+        record.update(
+            {
+                "label": label,
+                "smoothed_final_accuracy": summary.smoothed_final,
+                "classification": summary.classification,
+                "above_chance": summary.above_chance,
+            }
+        )
+        records.append(record)
+    return records
+
+
+def comparison_table(
+    histories: Mapping[str, TrainingHistory], *, num_classes: int = 10
+) -> str:
+    """Plain-text comparison table: one row per algorithm.
+
+    Columns: final accuracy, best accuracy, smoothed final accuracy and
+    the qualitative classification (converging / unstable / diverging /
+    stagnant) used to compare against the paper's description.
+    """
+    header = (
+        f"{'label':<14s} {'final':>7s} {'best':>7s} {'smoothed':>9s} {'verdict':>12s}"
+    )
+    lines = [header, "-" * len(header)]
+    for record in histories_to_records(histories, num_classes=num_classes):
+        lines.append(
+            f"{str(record['label']):<14s} {record['final_accuracy']:>7.3f} "
+            f"{record['best_accuracy']:>7.3f} {record['smoothed_final_accuracy']:>9.3f} "
+            f"{str(record['classification']):>12s}"
+        )
+    return "\n".join(lines)

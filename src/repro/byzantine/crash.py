@@ -1,0 +1,33 @@
+"""Crash-failure attack: the faulty node stops sending messages."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.byzantine.base import AttackContext, GradientAttack
+
+
+class CrashAttack(GradientAttack):
+    """Silent failure from a configurable round onwards.
+
+    ``crash_round=0`` (default) means the node never sends anything; a
+    positive value lets it behave honestly for the first rounds and then
+    disappear, which exercises the ``m_i >= n - t`` handling of the
+    agreement algorithms with *varying* message counts.
+    """
+
+    name = "crash"
+
+    def __init__(self, crash_round: int = 0) -> None:
+        if crash_round < 0:
+            raise ValueError(f"crash_round must be non-negative, got {crash_round}")
+        self.crash_round = int(crash_round)
+
+    def corrupt(self, context: AttackContext) -> Optional[np.ndarray]:
+        if context.round_index >= self.crash_round:
+            return None
+        if context.own_vector is None:
+            return None
+        return np.asarray(context.own_vector, dtype=np.float64).reshape(-1)

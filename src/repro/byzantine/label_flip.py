@@ -1,0 +1,47 @@
+"""Label-flipping data-poisoning attack."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.byzantine.base import AttackContext, GradientAttack
+
+
+def flip_labels(labels: np.ndarray, num_classes: int, *, offset: int = 1) -> np.ndarray:
+    """Map every label ``y`` to ``(y + offset) mod num_classes``.
+
+    ``offset=1`` is the classic rotation flip; ``offset=num_classes-1``
+    reverses the rotation.  The input array is not modified.
+    """
+    arr = np.asarray(labels)
+    if num_classes < 2:
+        raise ValueError("num_classes must be at least 2")
+    if offset % num_classes == 0:
+        raise ValueError("offset must not be a multiple of num_classes (no-op flip)")
+    return (arr + offset) % num_classes
+
+
+class LabelFlipAttack(GradientAttack):
+    """Data-poisoning attack: gradients are computed on flipped labels.
+
+    In the gradient-exchange protocol this attack behaves *honestly* —
+    it broadcasts whatever gradient the poisoned local dataset produced —
+    so :meth:`corrupt` simply forwards the attacker's own vector.  The
+    actual poisoning happens when the experiment builder passes the
+    client's labels through :func:`flip_labels` (see
+    :meth:`repro.learning.experiment.build_clients`).
+    """
+
+    name = "label-flip"
+
+    def __init__(self, offset: int = 1) -> None:
+        if offset == 0:
+            raise ValueError("offset must be non-zero")
+        self.offset = int(offset)
+
+    def corrupt(self, context: AttackContext) -> Optional[np.ndarray]:
+        if context.own_vector is None:
+            return None
+        return np.asarray(context.own_vector, dtype=np.float64).reshape(-1)

@@ -1,0 +1,34 @@
+"""Magnitude-inflation attack."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.byzantine.base import AttackContext, GradientAttack
+
+
+class MagnitudeAttack(GradientAttack):
+    """Scale the honest gradient by a large factor without changing its
+    direction.
+
+    Listed in the paper's introduction as one of the non-random
+    parameter-modification attacks ("increasing the magnitudes").  It is
+    devastating for the plain mean but easy prey for trimming- and
+    median-based rules, which makes it a useful ablation point.
+    """
+
+    name = "magnitude"
+
+    def __init__(self, factor: float = 100.0) -> None:
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        self.factor = float(factor)
+
+    def corrupt(self, context: AttackContext) -> Optional[np.ndarray]:
+        if context.own_vector is not None:
+            base = np.asarray(context.own_vector, dtype=np.float64).reshape(-1)
+        else:
+            base = context.honest_matrix().mean(axis=0)
+        return self.factor * base

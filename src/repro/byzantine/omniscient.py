@@ -1,0 +1,31 @@
+"""Omniscient "opposite of the honest aggregate" attack."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.byzantine.base import AttackContext, GradientAttack
+
+
+class OppositeOfMeanAttack(GradientAttack):
+    """Send a large vector opposite to the honest mean.
+
+    Blanchard et al. showed that a single such attacker defeats every
+    aggregation rule expressible as a fixed linear combination of the
+    inputs: the attacker observes all honest gradients (rushing
+    adversary) and proposes ``-lambda * mean(honest)``, dragging the
+    linear aggregate to the opposite of the useful direction.
+    """
+
+    name = "opposite-mean"
+
+    def __init__(self, strength: float = 10.0) -> None:
+        if strength <= 0:
+            raise ValueError(f"strength must be positive, got {strength}")
+        self.strength = float(strength)
+
+    def corrupt(self, context: AttackContext) -> Optional[np.ndarray]:
+        honest_mean = context.honest_matrix().mean(axis=0)
+        return -self.strength * honest_mean

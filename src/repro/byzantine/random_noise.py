@@ -1,0 +1,54 @@
+"""Random parameter-modification attacks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.byzantine.base import AttackContext, GradientAttack
+
+
+class GaussianNoiseAttack(GradientAttack):
+    """Add large zero-mean Gaussian noise to the honest gradient.
+
+    ``sigma`` controls the noise scale relative to the norm of the
+    attacker's honest gradient (or of the honest mean when the attacker
+    has no local gradient), so the attack automatically matches the
+    magnitude of real gradients rather than relying on absolute units.
+    """
+
+    name = "gaussian-noise"
+
+    def __init__(self, sigma: float = 10.0) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        self.sigma = float(sigma)
+
+    def corrupt(self, context: AttackContext) -> Optional[np.ndarray]:
+        if context.own_vector is not None:
+            base = np.asarray(context.own_vector, dtype=np.float64).reshape(-1)
+        else:
+            base = context.honest_matrix().mean(axis=0)
+        scale = self.sigma * max(float(np.linalg.norm(base)), 1e-12) / np.sqrt(base.size)
+        return base + context.rng.normal(0.0, scale, size=base.shape)
+
+
+class RandomVectorAttack(GradientAttack):
+    """Replace the gradient by a completely random vector.
+
+    This is the "random modification" attack from the paper's
+    introduction: the Byzantine client samples each coordinate uniformly
+    in ``[-amplitude, amplitude]``, ignoring its data entirely.
+    """
+
+    name = "random-vector"
+
+    def __init__(self, amplitude: float = 1.0) -> None:
+        if amplitude <= 0:
+            raise ValueError(f"amplitude must be positive, got {amplitude}")
+        self.amplitude = float(amplitude)
+
+    def corrupt(self, context: AttackContext) -> Optional[np.ndarray]:
+        d = context.dimension
+        return context.rng.uniform(-self.amplitude, self.amplitude, size=d)

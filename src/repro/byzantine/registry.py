@@ -1,0 +1,50 @@
+"""Name-based registry of attack models."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.byzantine.base import GradientAttack
+from repro.byzantine.crash import CrashAttack
+from repro.byzantine.label_flip import LabelFlipAttack
+from repro.byzantine.magnitude import MagnitudeAttack
+from repro.byzantine.omniscient import OppositeOfMeanAttack
+from repro.byzantine.random_noise import GaussianNoiseAttack, RandomVectorAttack
+from repro.byzantine.sign_flip import SignFlipAttack
+
+_REGISTRY: Dict[str, Type[GradientAttack]] = {}
+
+
+def register_attack(name: str, cls: Type[GradientAttack], *, overwrite: bool = False) -> None:
+    """Register an attack class under ``name``."""
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("attack name must be non-empty")
+    if not overwrite and key in _REGISTRY:
+        raise ValueError(f"attack {key!r} is already registered")
+    _REGISTRY[key] = cls
+
+
+def available_attacks() -> list[str]:
+    """Sorted list of registered attack names."""
+    return sorted(_REGISTRY)
+
+
+def make_attack(name: str, **kwargs) -> GradientAttack:
+    """Instantiate the attack registered under ``name``."""
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown attack {name!r}; available: {available_attacks()}")
+    return _REGISTRY[key](**kwargs)
+
+
+for _name, _cls in [
+    ("sign-flip", SignFlipAttack),
+    ("crash", CrashAttack),
+    ("gaussian-noise", GaussianNoiseAttack),
+    ("random-vector", RandomVectorAttack),
+    ("magnitude", MagnitudeAttack),
+    ("opposite-mean", OppositeOfMeanAttack),
+    ("label-flip", LabelFlipAttack),
+]:
+    register_attack(_name, _cls)

@@ -1,0 +1,37 @@
+"""Sign-flip attack (the paper's primary attack)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.byzantine.base import AttackContext, GradientAttack
+
+
+class SignFlipAttack(GradientAttack):
+    """Send the negated (optionally scaled) local gradient.
+
+    The Byzantine client computes its gradient honestly from its local
+    data and then flips the sign before broadcasting, i.e. it pushes the
+    model in the ascent direction of its local loss.  El-Mhamdi et al.
+    additionally scale the flipped gradient by a multiplicative factor;
+    ``scale=1.0`` reproduces the paper's plain sign flip.
+
+    When the attacker has no local gradient (e.g. a pure injector node)
+    it falls back to flipping the mean of the honest vectors it observed.
+    """
+
+    name = "sign-flip"
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+
+    def corrupt(self, context: AttackContext) -> Optional[np.ndarray]:
+        if context.own_vector is not None:
+            base = np.asarray(context.own_vector, dtype=np.float64).reshape(-1)
+        else:
+            base = context.honest_matrix().mean(axis=0)
+        return -self.scale * base

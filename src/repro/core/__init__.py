@@ -1,0 +1,52 @@
+"""The paper's primary contribution, re-exported for convenient access.
+
+``repro.core`` groups the pieces that constitute the SPAA 2025 paper's
+contribution proper:
+
+- the hyperbox agreement algorithm for the geometric median
+  (Algorithm 2, :class:`HyperboxGeometricMedianAgreement`) and its
+  one-shot form (:class:`HyperboxGeometricMedian`),
+- the geometric-median approximation framework of Section 3
+  (``S_geo``, the covering ball, :func:`approximation_ratio`), and
+- the protocol runner that executes agreement algorithms against a
+  Byzantine adversary.
+
+Everything here is also importable from its home subpackage; the alias
+exists so downstream users can start from a single import.
+"""
+
+from repro.aggregation.hyperbox_rules import HyperboxGeometricMedian, HyperboxMean
+from repro.agreement.algorithms import (
+    HyperboxGeometricMedianAgreement,
+    HyperboxMeanAgreement,
+    MinimumDiameterGeometricMedianAgreement,
+    MinimumDiameterMeanAgreement,
+)
+from repro.agreement.base import AgreementProtocol, AgreementResult
+from repro.agreement.metrics import (
+    approximation_ratio,
+    covering_ball_of_sgeo,
+    geometric_median_candidates,
+    true_geometric_median,
+)
+from repro.linalg.geometric_median import geometric_median
+from repro.linalg.hyperbox import Hyperbox, bounding_hyperbox, trimmed_hyperbox
+
+__all__ = [
+    "AgreementProtocol",
+    "AgreementResult",
+    "Hyperbox",
+    "HyperboxGeometricMedian",
+    "HyperboxGeometricMedianAgreement",
+    "HyperboxMean",
+    "HyperboxMeanAgreement",
+    "MinimumDiameterGeometricMedianAgreement",
+    "MinimumDiameterMeanAgreement",
+    "approximation_ratio",
+    "bounding_hyperbox",
+    "covering_ball_of_sgeo",
+    "geometric_median",
+    "geometric_median_candidates",
+    "trimmed_hyperbox",
+    "true_geometric_median",
+]

@@ -1,0 +1,43 @@
+"""Dataset substrate: synthetic image datasets and heterogeneity splits.
+
+The paper evaluates on MNIST and CIFAR10.  Neither dataset can be
+downloaded in this offline reproduction, so :mod:`repro.data.datasets`
+generates *synthetic class-structured image data* with the same shapes
+(28×28 grey, 32×32×3 colour, 10 classes): each class has a smooth random
+template and samples are noisy, shifted copies of it.  The resulting
+classification tasks are learnable by the same architectures the paper
+uses, which is what the robustness comparison needs.
+
+:mod:`repro.data.partition` implements the paper's three heterogeneity
+regimes (uniform, mild, extreme 2-class) and
+:mod:`repro.data.batching` provides the stochastic-gradient batch
+sampling clients use.
+"""
+
+from repro.data.datasets import (
+    Dataset,
+    make_synthetic_cifar10,
+    make_synthetic_mnist,
+    train_test_split,
+)
+from repro.data.partition import (
+    Heterogeneity,
+    partition_dataset,
+    partition_extreme,
+    partition_mild,
+    partition_uniform,
+)
+from repro.data.batching import BatchSampler
+
+__all__ = [
+    "BatchSampler",
+    "Dataset",
+    "Heterogeneity",
+    "make_synthetic_cifar10",
+    "make_synthetic_mnist",
+    "partition_dataset",
+    "partition_extreme",
+    "partition_mild",
+    "partition_uniform",
+    "train_test_split",
+]

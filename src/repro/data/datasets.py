@@ -1,0 +1,183 @@
+"""Synthetic image classification datasets.
+
+Substitution note (see DESIGN.md): the paper trains on MNIST and CIFAR10,
+which are unavailable offline.  These generators produce datasets with
+the same tensor shapes and class count whose classes are separable but
+overlapping — each class ``c`` owns a smooth random template image and a
+sample is ``clip(template + structured noise + small translation)``.
+The MLP / CifarNet architectures learn them the same way they learn the
+real datasets, so the *relative* behaviour of aggregation rules under
+attack (the quantity the paper studies) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import require
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory labelled dataset.
+
+    Attributes
+    ----------
+    images:
+        Float array of shape ``(num_samples, *image_shape)`` in [0, 1].
+    labels:
+        Integer class labels of shape ``(num_samples,)``.
+    num_classes:
+        Number of distinct classes (labels are ``0 .. num_classes - 1``).
+    name:
+        Human-readable dataset name for reports.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        images = np.asarray(self.images, dtype=np.float64)
+        labels = np.asarray(self.labels, dtype=np.int64).reshape(-1)
+        require(images.ndim >= 2, "images must have at least 2 dimensions")
+        require(images.shape[0] == labels.shape[0],
+                f"images ({images.shape[0]}) and labels ({labels.shape[0]}) count mismatch")
+        require(self.num_classes >= 2, "num_classes must be at least 2")
+        require(labels.size == 0 or (labels.min() >= 0 and labels.max() < self.num_classes),
+                "labels out of range for num_classes")
+        object.__setattr__(self, "images", images)
+        object.__setattr__(self, "labels", labels)
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def image_shape(self) -> Tuple[int, ...]:
+        """Shape of one image (without the sample axis)."""
+        return tuple(self.images.shape[1:])
+
+    @property
+    def feature_dim(self) -> int:
+        """Number of features when the image is flattened."""
+        return int(np.prod(self.image_shape))
+
+    def flattened(self) -> np.ndarray:
+        """Images reshaped to ``(num_samples, feature_dim)``."""
+        return self.images.reshape(len(self), -1)
+
+    def subset(self, indices: np.ndarray, name_suffix: str = "") -> "Dataset":
+        """New dataset restricted to the given sample indices."""
+        idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+        return Dataset(
+            images=self.images[idx],
+            labels=self.labels[idx],
+            num_classes=self.num_classes,
+            name=self.name + name_suffix,
+        )
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class, shape ``(num_classes,)``."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+
+def _smooth_random_image(rng: np.random.Generator, shape: Tuple[int, ...], smoothness: int = 3) -> np.ndarray:
+    """Random low-frequency image in [0, 1] (repeated box blur of noise)."""
+    img = rng.random(shape)
+    # Separable box blur along the two spatial axes, repeated `smoothness` times.
+    for _ in range(smoothness):
+        for axis in (0, 1):
+            img = (np.roll(img, 1, axis=axis) + img + np.roll(img, -1, axis=axis)) / 3.0
+    img -= img.min()
+    peak = img.max()
+    if peak > 0:
+        img /= peak
+    return img
+
+
+def _generate_class_dataset(
+    *,
+    num_samples: int,
+    image_shape: Tuple[int, ...],
+    num_classes: int,
+    noise: float,
+    shift: int,
+    seed,
+    name: str,
+) -> Dataset:
+    """Shared generator behind the MNIST- and CIFAR-like datasets."""
+    require(num_samples >= num_classes, "need at least one sample per class")
+    rng = as_generator(seed)
+    templates = np.stack(
+        [_smooth_random_image(rng, image_shape) for _ in range(num_classes)], axis=0
+    )
+    # Balanced labels, then shuffled so contiguous slices are class-mixed.
+    labels = np.arange(num_samples) % num_classes
+    rng.shuffle(labels)
+    images = np.empty((num_samples, *image_shape), dtype=np.float64)
+    for i, label in enumerate(labels):
+        base = templates[label]
+        if shift > 0:
+            dy, dx = rng.integers(-shift, shift + 1, size=2)
+            base = np.roll(np.roll(base, int(dy), axis=0), int(dx), axis=1)
+        sample = base + rng.normal(0.0, noise, size=image_shape)
+        images[i] = np.clip(sample, 0.0, 1.0)
+    return Dataset(images=images, labels=labels, num_classes=num_classes, name=name)
+
+
+def make_synthetic_mnist(
+    num_samples: int = 2000,
+    *,
+    num_classes: int = 10,
+    noise: float = 0.15,
+    shift: int = 2,
+    seed=0,
+) -> Dataset:
+    """MNIST-like dataset: ``(num_samples, 28, 28)`` grey images, 10 classes."""
+    return _generate_class_dataset(
+        num_samples=num_samples,
+        image_shape=(28, 28),
+        num_classes=num_classes,
+        noise=noise,
+        shift=shift,
+        seed=seed,
+        name="synthetic-mnist",
+    )
+
+
+def make_synthetic_cifar10(
+    num_samples: int = 2000,
+    *,
+    num_classes: int = 10,
+    noise: float = 0.12,
+    shift: int = 2,
+    seed=0,
+) -> Dataset:
+    """CIFAR10-like dataset: ``(num_samples, 32, 32, 3)`` colour images."""
+    return _generate_class_dataset(
+        num_samples=num_samples,
+        image_shape=(32, 32, 3),
+        num_classes=num_classes,
+        noise=noise,
+        shift=shift,
+        seed=seed,
+        name="synthetic-cifar10",
+    )
+
+
+def train_test_split(
+    dataset: Dataset, *, test_fraction: float = 0.1, seed=0
+) -> Tuple[Dataset, Dataset]:
+    """Split into train/test subsets (paper uses a 9:1 MNIST split)."""
+    require(0.0 < test_fraction < 1.0, "test_fraction must be in (0, 1)")
+    rng = as_generator(seed)
+    order = rng.permutation(len(dataset))
+    num_test = max(1, int(round(len(dataset) * test_fraction)))
+    test_idx, train_idx = order[:num_test], order[num_test:]
+    require(train_idx.size > 0, "train split would be empty; reduce test_fraction")
+    return dataset.subset(train_idx, "-train"), dataset.subset(test_idx, "-test")

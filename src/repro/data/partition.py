@@ -1,0 +1,142 @@
+"""Client data partitioning: the paper's three heterogeneity regimes.
+
+- *uniform*: every class is split evenly across the clients.
+- *mild heterogeneity*: each class is split into 10 parts where 8 parts
+  hold 10% of the class, one part 5% and one part 15%; the 5%/15% parts
+  rotate across clients so every client is slightly over- and
+  under-represented in some classes.
+- *extreme (2-class) heterogeneity*: the dataset is sorted by label and
+  cut into ``2 * num_clients`` shards; each client receives two shards,
+  so it sees at most two classes.
+
+All partitions keep the per-client dataset sizes as equal as possible —
+the paper explicitly excludes unequal sizes because Byzantine clients
+could exploit them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.utils.rng import as_generator
+from repro.utils.validation import require
+
+
+class Heterogeneity(str, enum.Enum):
+    """Data heterogeneity regimes used in the paper's evaluation."""
+
+    UNIFORM = "uniform"
+    MILD = "mild"
+    EXTREME = "extreme"
+
+
+def _split_class_by_fractions(
+    indices: np.ndarray, fractions: Sequence[float], rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Split an index array into chunks of the given fractional sizes."""
+    shuffled = rng.permutation(indices)
+    total = shuffled.shape[0]
+    raw = np.array(fractions, dtype=np.float64)
+    raw = raw / raw.sum()
+    counts = np.floor(raw * total).astype(int)
+    # Distribute the remainder to the largest fractional parts.
+    remainder = total - counts.sum()
+    if remainder > 0:
+        order = np.argsort(-(raw * total - counts))
+        counts[order[:remainder]] += 1
+    chunks: List[np.ndarray] = []
+    start = 0
+    for count in counts:
+        chunks.append(shuffled[start : start + count])
+        start += count
+    return chunks
+
+
+def partition_uniform(dataset: Dataset, num_clients: int, *, seed=0) -> List[Dataset]:
+    """Uniform split: every class divided evenly across clients."""
+    require(num_clients >= 1, "num_clients must be positive")
+    rng = as_generator(seed)
+    per_client: List[List[np.ndarray]] = [[] for _ in range(num_clients)]
+    for cls in range(dataset.num_classes):
+        cls_idx = np.flatnonzero(dataset.labels == cls)
+        if cls_idx.size == 0:
+            continue
+        chunks = _split_class_by_fractions(cls_idx, [1.0 / num_clients] * num_clients, rng)
+        for client, chunk in enumerate(chunks):
+            per_client[client].append(chunk)
+    return _finalise(dataset, per_client, "uniform")
+
+
+def partition_mild(dataset: Dataset, num_clients: int = 10, *, seed=0) -> List[Dataset]:
+    """Mild heterogeneity: per class, 8×10% + one 5% + one 15% shares.
+
+    The positions of the 5% and 15% shares rotate with the class index so
+    the imbalance spreads across clients.  For ``num_clients != 10`` the
+    same idea generalises: two clients get half/one-and-a-half of the
+    even share, the rest get the even share.
+    """
+    require(num_clients >= 2, "mild heterogeneity needs at least 2 clients")
+    rng = as_generator(seed)
+    even = 1.0 / num_clients
+    per_client: List[List[np.ndarray]] = [[] for _ in range(num_clients)]
+    for cls in range(dataset.num_classes):
+        cls_idx = np.flatnonzero(dataset.labels == cls)
+        if cls_idx.size == 0:
+            continue
+        fractions = np.full(num_clients, even)
+        small = cls % num_clients
+        large = (cls + 1) % num_clients
+        fractions[small] = even * 0.5
+        fractions[large] = even * 1.5
+        chunks = _split_class_by_fractions(cls_idx, fractions.tolist(), rng)
+        for client, chunk in enumerate(chunks):
+            per_client[client].append(chunk)
+    return _finalise(dataset, per_client, "mild")
+
+
+def partition_extreme(dataset: Dataset, num_clients: int = 10, *, seed=0) -> List[Dataset]:
+    """Extreme (2-class) heterogeneity: sort by label, shard, deal 2 shards each."""
+    require(num_clients >= 1, "num_clients must be positive")
+    require(len(dataset) >= 2 * num_clients, "dataset too small for 2 shards per client")
+    rng = as_generator(seed)
+    order = np.argsort(dataset.labels, kind="stable")
+    shards = np.array_split(order, 2 * num_clients)
+    shard_ids = rng.permutation(2 * num_clients)
+    per_client: List[List[np.ndarray]] = [[] for _ in range(num_clients)]
+    for position, shard_id in enumerate(shard_ids):
+        per_client[position % num_clients].append(shards[shard_id])
+    return _finalise(dataset, per_client, "extreme")
+
+
+def partition_dataset(
+    dataset: Dataset,
+    num_clients: int,
+    heterogeneity: Heterogeneity | str = Heterogeneity.UNIFORM,
+    *,
+    seed=0,
+) -> List[Dataset]:
+    """Partition ``dataset`` across clients under the requested regime."""
+    regime = Heterogeneity(heterogeneity)
+    if regime is Heterogeneity.UNIFORM:
+        return partition_uniform(dataset, num_clients, seed=seed)
+    if regime is Heterogeneity.MILD:
+        return partition_mild(dataset, num_clients, seed=seed)
+    return partition_extreme(dataset, num_clients, seed=seed)
+
+
+def _finalise(
+    dataset: Dataset, per_client: List[List[np.ndarray]], tag: str
+) -> List[Dataset]:
+    out: List[Dataset] = []
+    for client, chunks in enumerate(per_client):
+        if chunks:
+            idx = np.concatenate(chunks)
+        else:  # pragma: no cover - only possible with pathological inputs
+            idx = np.empty(0, dtype=np.int64)
+        require(idx.size > 0, f"client {client} received no data under the {tag} split")
+        out.append(dataset.subset(idx, f"-{tag}-client{client}"))
+    return out

@@ -1,0 +1,15 @@
+"""Result persistence: save and reload experiment histories as JSON."""
+
+from repro.io.results import (
+    history_from_dict,
+    history_to_dict,
+    load_histories,
+    save_histories,
+)
+
+__all__ = [
+    "history_from_dict",
+    "history_to_dict",
+    "load_histories",
+    "save_histories",
+]

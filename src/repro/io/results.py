@@ -1,0 +1,90 @@
+"""JSON (de)serialisation of training histories.
+
+The benchmark harness and the example scripts can persist their results
+so figures can be re-rendered or compared across runs without re-training.
+The format is plain JSON: a mapping from experiment label to a history
+dictionary, round records included.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+from repro.learning.history import RoundRecord, TrainingHistory
+
+PathLike = Union[str, Path]
+
+
+def history_to_dict(history: TrainingHistory) -> dict:
+    """Convert a history (including all round records) to plain data."""
+    return {
+        "setting": history.setting,
+        "aggregation": history.aggregation,
+        "attack": history.attack,
+        "heterogeneity": history.heterogeneity,
+        "num_clients": history.num_clients,
+        "num_byzantine": history.num_byzantine,
+        "records": [
+            {
+                "round_index": r.round_index,
+                "accuracy": r.accuracy,
+                "loss": r.loss,
+                "per_client_accuracy": {str(k): v for k, v in r.per_client_accuracy.items()},
+                "gradient_disagreement": r.gradient_disagreement,
+            }
+            for r in history.records
+        ],
+    }
+
+
+def history_from_dict(data: dict) -> TrainingHistory:
+    """Inverse of :func:`history_to_dict`."""
+    required = {"setting", "aggregation", "heterogeneity", "num_clients", "num_byzantine"}
+    missing = required - set(data)
+    if missing:
+        raise ValueError(f"history dictionary is missing fields: {sorted(missing)}")
+    history = TrainingHistory(
+        setting=data["setting"],
+        aggregation=data["aggregation"],
+        attack=data.get("attack"),
+        heterogeneity=data["heterogeneity"],
+        num_clients=int(data["num_clients"]),
+        num_byzantine=int(data["num_byzantine"]),
+    )
+    for record in data.get("records", []):
+        history.append(
+            RoundRecord(
+                round_index=int(record["round_index"]),
+                accuracy=float(record["accuracy"]),
+                loss=float(record["loss"]),
+                per_client_accuracy={
+                    int(k): float(v) for k, v in record.get("per_client_accuracy", {}).items()
+                },
+                gradient_disagreement=(
+                    None
+                    if record.get("gradient_disagreement") is None
+                    else float(record["gradient_disagreement"])
+                ),
+            )
+        )
+    return history
+
+
+def save_histories(histories: Mapping[str, TrainingHistory], path: PathLike) -> Path:
+    """Write a labelled set of histories to a JSON file; returns the path."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = {label: history_to_dict(history) for label, history in histories.items()}
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return target
+
+
+def load_histories(path: PathLike) -> Dict[str, TrainingHistory]:
+    """Load a labelled set of histories previously written by :func:`save_histories`."""
+    source = Path(path)
+    payload = json.loads(source.read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{source} does not contain a label -> history mapping")
+    return {label: history_from_dict(data) for label, data in payload.items()}

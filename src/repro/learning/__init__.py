@@ -1,0 +1,41 @@
+"""Collaborative learning: clients, servers and training loops.
+
+Two training models from the paper:
+
+- :class:`CentralizedTrainer` — a server holds the global model, every
+  client computes a stochastic gradient on the current global weights,
+  Byzantine clients corrupt theirs, and the server applies a robust
+  aggregation rule before the SGD step.
+- :class:`DecentralizedTrainer` — no server: every client holds its own
+  model, gradients are exchanged over the reliable-broadcast network,
+  and each learning iteration runs an approximate-agreement subroutine
+  for ``ceil(log2(t))`` sub-rounds before clients apply their (nearly
+  agreed) aggregate to their local models.
+
+:mod:`repro.learning.experiment` turns string-named configurations into
+runnable experiments; the benchmarks and examples are thin wrappers over
+it.
+"""
+
+from repro.learning.client import Client
+from repro.learning.history import RoundRecord, TrainingHistory
+from repro.learning.centralized import CentralizedTrainer
+from repro.learning.decentralized import DecentralizedTrainer
+from repro.learning.experiment import (
+    ExperimentConfig,
+    build_experiment,
+    run_centralized_experiment,
+    run_decentralized_experiment,
+)
+
+__all__ = [
+    "CentralizedTrainer",
+    "Client",
+    "DecentralizedTrainer",
+    "ExperimentConfig",
+    "RoundRecord",
+    "TrainingHistory",
+    "build_experiment",
+    "run_centralized_experiment",
+    "run_decentralized_experiment",
+]

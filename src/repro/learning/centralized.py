@@ -1,0 +1,155 @@
+"""Centralized collaborative learning loop.
+
+One server coordinates the round structure (Section 2.1 of the paper):
+
+1. every client loads the global weights and computes a stochastic
+   gradient on its local shard,
+2. Byzantine clients replace their gradient according to the configured
+   attack (a rushing adversary: it sees the honest gradients first),
+3. the server aggregates the received gradients with a robust rule and
+   performs the SGD step ``theta <- theta - lr_t * aggregate``,
+4. the global model's test accuracy is recorded.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.aggregation.base import AggregationRule
+from repro.byzantine.base import AttackContext
+from repro.data.datasets import Dataset
+from repro.learning.client import Client
+from repro.learning.history import RoundRecord, TrainingHistory
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD
+from repro.utils.logging import get_logger
+from repro.utils.rng import as_generator
+
+_logger = get_logger("learning.centralized")
+
+
+class CentralizedTrainer:
+    """Runs centralized collaborative learning with a robust server.
+
+    Parameters
+    ----------
+    global_model:
+        The server's model; its flat parameter vector is the global state.
+    clients:
+        All participating clients (honest and Byzantine alike; a client
+        is Byzantine when its ``attack`` attribute is set).
+    aggregation:
+        The server-side aggregation rule.
+    test_data:
+        Held-out dataset for the per-round accuracy report.
+    optimizer:
+        SGD configuration; constructed from ``learning_rate`` and the
+        round budget when omitted.
+    """
+
+    def __init__(
+        self,
+        global_model: Sequential,
+        clients: Sequence[Client],
+        aggregation: AggregationRule,
+        test_data: Dataset,
+        *,
+        optimizer: Optional[SGD] = None,
+        learning_rate: float = 0.01,
+        flatten_inputs: bool = True,
+        seed=0,
+    ) -> None:
+        if not clients:
+            raise ValueError("at least one client is required")
+        self.global_model = global_model
+        self.clients = list(clients)
+        self.aggregation = aggregation
+        self.test_data = test_data
+        self.optimizer = optimizer if optimizer is not None else SGD(learning_rate)
+        self.flatten_inputs = bool(flatten_inputs)
+        self._rng = as_generator(seed)
+
+    # -- internals -----------------------------------------------------------
+    def _test_inputs(self) -> np.ndarray:
+        images = self.test_data.images
+        return images.reshape(images.shape[0], -1) if self.flatten_inputs else images
+
+    def _collect_gradients(self, parameters: np.ndarray, round_index: int) -> tuple[List[np.ndarray], float]:
+        """Gradients the server receives this round (after attacks)."""
+        honest_vectors: Dict[int, np.ndarray] = {}
+        own_vectors: Dict[int, np.ndarray] = {}
+        losses: List[float] = []
+        for client in self.clients:
+            loss, grad = client.compute_gradient(parameters)
+            own_vectors[client.client_id] = grad
+            if not client.is_byzantine:
+                honest_vectors[client.client_id] = grad
+                losses.append(loss)
+
+        received: List[np.ndarray] = []
+        for client in self.clients:
+            if not client.is_byzantine:
+                received.append(own_vectors[client.client_id])
+                continue
+            context = AttackContext(
+                node=client.client_id,
+                round_index=round_index,
+                own_vector=own_vectors[client.client_id],
+                honest_vectors=honest_vectors,
+                rng=self._rng,
+            )
+            corrupted = client.attack.corrupt(context)
+            if corrupted is not None:
+                received.append(np.asarray(corrupted, dtype=np.float64).reshape(-1))
+            # A silent (crashed) Byzantine client simply contributes nothing.
+        mean_loss = float(np.mean(losses)) if losses else float("nan")
+        return received, mean_loss
+
+    # -- public API -----------------------------------------------------------
+    def train(self, rounds: int, *, record_every: int = 1) -> TrainingHistory:
+        """Run ``rounds`` global communication rounds and return the history."""
+        if rounds < 1:
+            raise ValueError("rounds must be positive")
+        if record_every < 1:
+            raise ValueError("record_every must be positive")
+        if self.optimizer.total_rounds is None:
+            self.optimizer.total_rounds = rounds
+
+        history = TrainingHistory(
+            setting="centralized",
+            aggregation=getattr(self.aggregation, "name", type(self.aggregation).__name__),
+            attack=self._attack_name(),
+            heterogeneity="unknown",
+            num_clients=len(self.clients),
+            num_byzantine=sum(1 for c in self.clients if c.is_byzantine),
+        )
+        parameters = self.global_model.get_flat_parameters()
+        test_inputs = self._test_inputs()
+
+        for round_index in range(rounds):
+            received, mean_loss = self._collect_gradients(parameters, round_index)
+            if not received:
+                raise RuntimeError(
+                    f"no gradients received in round {round_index}; cannot aggregate"
+                )
+            aggregate = self.aggregation.aggregate(np.stack(received, axis=0))
+            parameters = self.optimizer.step(parameters, aggregate, round_index)
+            self.global_model.set_flat_parameters(parameters)
+
+            if (round_index + 1) % record_every == 0 or round_index == rounds - 1:
+                acc = self.global_model.evaluate_accuracy(test_inputs, self.test_data.labels)
+                history.append(
+                    RoundRecord(round_index=round_index, accuracy=acc, loss=mean_loss)
+                )
+                _logger.info(
+                    "centralized round %d: accuracy=%.4f loss=%.4f", round_index, acc, mean_loss
+                )
+        return history
+
+    def _attack_name(self) -> Optional[str]:
+        for client in self.clients:
+            if client.is_byzantine and client.attack is not None:
+                return client.attack.name
+        return None

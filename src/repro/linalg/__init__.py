@@ -1,0 +1,67 @@
+"""Numerical geometry substrate.
+
+This package contains every geometric primitive the agreement and
+aggregation layers build on:
+
+- :mod:`repro.linalg.distances` — pairwise distance / diameter helpers.
+- :mod:`repro.linalg.geometric_median` — the Weiszfeld algorithm and the
+  exact one-dimensional median, plus the medoid.
+- :mod:`repro.linalg.hyperbox` — axis-parallel hyperbox algebra
+  (bounding boxes, intersections, midpoints, maximum edge length).
+- :mod:`repro.linalg.covering_ball` — minimum enclosing ball (exact
+  Welzl for small point sets, Ritter approximation for large ones).
+- :mod:`repro.linalg.convex` — convex-hull membership tests and the
+  safe-area construction for low dimensions.
+- :mod:`repro.linalg.subsets` — enumeration and sampling of the
+  ``(n - t)``-subsets used to build ``S_geo`` and the trusted hyperbox.
+"""
+
+from repro.linalg.distances import (
+    diameter,
+    max_coordinate_spread,
+    pairwise_distances,
+    pairwise_sq_distances,
+)
+from repro.linalg.geometric_median import (
+    WeiszfeldResult,
+    geometric_median,
+    geometric_median_cost,
+    medoid,
+    medoid_index,
+)
+from repro.linalg.hyperbox import Hyperbox, bounding_hyperbox, trimmed_hyperbox
+from repro.linalg.covering_ball import Ball, minimum_covering_ball, ritter_ball
+from repro.linalg.convex import in_convex_hull, safe_area_vertices, tverberg_point
+from repro.linalg.subsets import (
+    enumerate_subsets,
+    minimum_diameter_subset,
+    sample_subsets,
+    subset_aggregates,
+    subset_count,
+)
+
+__all__ = [
+    "Ball",
+    "Hyperbox",
+    "WeiszfeldResult",
+    "bounding_hyperbox",
+    "diameter",
+    "enumerate_subsets",
+    "geometric_median",
+    "geometric_median_cost",
+    "in_convex_hull",
+    "max_coordinate_spread",
+    "medoid",
+    "medoid_index",
+    "minimum_covering_ball",
+    "minimum_diameter_subset",
+    "pairwise_distances",
+    "pairwise_sq_distances",
+    "ritter_ball",
+    "safe_area_vertices",
+    "sample_subsets",
+    "subset_aggregates",
+    "subset_count",
+    "trimmed_hyperbox",
+    "tverberg_point",
+]

@@ -1,0 +1,73 @@
+"""Pairwise distance helpers.
+
+All aggregation rules that reason about "close" subsets (Krum,
+minimum-diameter averaging, medoid) reduce to operations on the pairwise
+Euclidean distance matrix of the received vectors.  These helpers keep
+that computation vectorised and reused.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_matrix
+
+
+def pairwise_sq_distances(vectors: np.ndarray) -> np.ndarray:
+    """Return the ``(m, m)`` matrix of squared Euclidean distances.
+
+    Uses the expanded form ``|x|^2 + |y|^2 - 2 x.y`` which is O(m^2 d)
+    with a single GEMM, instead of the naive O(m^2 d) loop.
+    Negative values caused by floating point cancellation are clamped to
+    zero so callers can safely take square roots.
+    """
+    mat = ensure_matrix(vectors, name="vectors")
+    sq_norms = np.einsum("ij,ij->i", mat, mat)
+    sq = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (mat @ mat.T)
+    np.maximum(sq, 0.0, out=sq)
+    np.fill_diagonal(sq, 0.0)
+    return sq
+
+
+def pairwise_distances(vectors: np.ndarray) -> np.ndarray:
+    """Return the ``(m, m)`` matrix of Euclidean distances."""
+    return np.sqrt(pairwise_sq_distances(vectors))
+
+
+def diameter(vectors: np.ndarray) -> float:
+    """Largest Euclidean distance between any two of the given vectors.
+
+    For small stacks the differences are formed explicitly, which avoids
+    the catastrophic cancellation of the ``|x|^2 + |y|^2 - 2 x.y``
+    expansion and makes the diameter of (numerically) identical vectors
+    exactly zero — a property the agreement convergence checks rely on.
+    """
+    mat = ensure_matrix(vectors, name="vectors")
+    m, d = mat.shape
+    if m == 1:
+        return 0.0
+    if m * m * d <= 50_000_000:
+        diffs = mat[:, None, :] - mat[None, :, :]
+        return float(np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs).max()))
+    return float(np.sqrt(pairwise_sq_distances(mat).max()))
+
+
+def max_coordinate_spread(vectors: np.ndarray) -> float:
+    """Largest per-coordinate range, i.e. ``E_max`` of the bounding box.
+
+    Equals :meth:`repro.linalg.hyperbox.Hyperbox.max_edge_length` of the
+    smallest axis-parallel hyperbox containing the vectors.
+    """
+    mat = ensure_matrix(vectors, name="vectors")
+    return float(np.max(mat.max(axis=0) - mat.min(axis=0)))
+
+
+def distances_to(vectors: np.ndarray, point: np.ndarray) -> np.ndarray:
+    """Euclidean distance from every row of ``vectors`` to ``point``."""
+    mat = ensure_matrix(vectors, name="vectors")
+    p = np.asarray(point, dtype=np.float64).reshape(-1)
+    if p.shape[0] != mat.shape[1]:
+        raise ValueError(
+            f"point dimension {p.shape[0]} does not match vectors dimension {mat.shape[1]}"
+        )
+    return np.linalg.norm(mat - p[None, :], axis=1)

@@ -1,0 +1,192 @@
+"""Geometric median (Weiszfeld algorithm) and medoid.
+
+The geometric median of a point set minimises the sum of Euclidean
+distances to all points (Definition 2.2 of the paper).  It has no closed
+form for d >= 2, so the paper — like Pillutla et al. — computes it with
+the Weiszfeld fixed-point iteration.  This module provides:
+
+- :func:`geometric_median` — a numerically robust Weiszfeld solver with
+  the standard epsilon-smoothing fix for iterates that collide with an
+  input point, optional per-point weights, and convergence diagnostics.
+- :func:`geometric_median_cost` — the objective value (sum of distances).
+- :func:`medoid` / :func:`medoid_index` — the input point minimising the
+  sum of distances (used by the medoid aggregation rule and as a
+  Weiszfeld warm start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import ensure_matrix
+
+
+@dataclass(frozen=True)
+class WeiszfeldResult:
+    """Outcome of a Weiszfeld run.
+
+    Attributes
+    ----------
+    point:
+        The computed geometric median estimate, shape ``(d,)``.
+    iterations:
+        Number of fixed-point iterations performed.
+    converged:
+        Whether the movement between the last two iterates dropped below
+        the requested tolerance.
+    cost:
+        Final objective value ``sum_i w_i * ||x_i - point||``.
+    """
+
+    point: np.ndarray
+    iterations: int
+    converged: bool
+    cost: float
+
+
+def geometric_median_cost(
+    vectors: np.ndarray, point: np.ndarray, weights: Optional[np.ndarray] = None
+) -> float:
+    """Sum of (weighted) Euclidean distances from ``point`` to all rows."""
+    mat = ensure_matrix(vectors, name="vectors")
+    p = np.asarray(point, dtype=np.float64).reshape(-1)
+    dists = np.linalg.norm(mat - p[None, :], axis=1)
+    if weights is None:
+        return float(dists.sum())
+    w = np.asarray(weights, dtype=np.float64).reshape(-1)
+    if w.shape[0] != mat.shape[0]:
+        raise ValueError("weights length must match the number of vectors")
+    return float(np.dot(w, dists))
+
+
+def medoid_index(vectors: np.ndarray) -> int:
+    """Index of the input point minimising the sum of distances to the others."""
+    mat = ensure_matrix(vectors, name="vectors")
+    # Reuse the GEMM-based pairwise computation; O(m^2 d).
+    from repro.linalg.distances import pairwise_distances
+
+    dist = pairwise_distances(mat)
+    return int(np.argmin(dist.sum(axis=1)))
+
+
+def medoid(vectors: np.ndarray) -> np.ndarray:
+    """The medoid point itself (a copy of the winning input row)."""
+    mat = ensure_matrix(vectors, name="vectors")
+    return mat[medoid_index(mat)].copy()
+
+
+def geometric_median(
+    vectors: np.ndarray,
+    *,
+    weights: Optional[np.ndarray] = None,
+    tol: float = 1e-8,
+    max_iter: int = 200,
+    eps: float = 1e-12,
+    initial: Optional[np.ndarray] = None,
+    return_info: bool = False,
+) -> np.ndarray | WeiszfeldResult:
+    """Compute the geometric median via the Weiszfeld algorithm.
+
+    Parameters
+    ----------
+    vectors:
+        ``(m, d)`` stack of input points.
+    weights:
+        Optional non-negative per-point weights; defaults to uniform.
+    tol:
+        Convergence threshold on the Euclidean movement per iteration.
+    max_iter:
+        Iteration budget.  The paper's experiments use a small budget per
+        aggregation call, so the default is modest.
+    eps:
+        Smoothing constant added to distances to avoid division by zero
+        when an iterate coincides with an input point (the standard
+        smoothed-Weiszfeld fix; see Pillutla et al. 2022).
+    initial:
+        Optional warm-start point.  Defaults to the weighted mean.
+    return_info:
+        When true, return a :class:`WeiszfeldResult` instead of the bare
+        point.
+
+    Notes
+    -----
+    For one point the median is the point itself; for two points any
+    point on the segment is optimal and the weighted mean (midpoint for
+    uniform weights) is returned, which is a valid minimiser.
+    """
+    mat = ensure_matrix(vectors, name="vectors")
+    m, _d = mat.shape
+    if weights is None:
+        w = np.ones(m, dtype=np.float64)
+    else:
+        w = np.asarray(weights, dtype=np.float64).reshape(-1)
+        if w.shape[0] != m:
+            raise ValueError("weights length must match the number of vectors")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        if not np.any(w > 0):
+            raise ValueError("at least one weight must be positive")
+    if tol <= 0:
+        raise ValueError(f"tol must be positive, got {tol}")
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be at least 1, got {max_iter}")
+
+    if m == 1:
+        point = mat[0].copy()
+        result = WeiszfeldResult(point=point, iterations=0, converged=True, cost=0.0)
+        return result if return_info else point
+
+    if initial is None:
+        current = np.average(mat, axis=0, weights=w)
+    else:
+        current = np.asarray(initial, dtype=np.float64).reshape(-1).copy()
+        if current.shape[0] != mat.shape[1]:
+            raise ValueError("initial point dimension mismatch")
+
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iter + 1):
+        diffs = mat - current[None, :]
+        dists = np.linalg.norm(diffs, axis=1)
+        # Smoothed inverse distances: points at (numerically) zero
+        # distance still contribute a bounded weight.
+        inv = w / np.maximum(dists, eps)
+        total = inv.sum()
+        new_point = (inv[:, None] * mat).sum(axis=0) / total
+        move = float(np.linalg.norm(new_point - current))
+        current = new_point
+        if move <= tol:
+            converged = True
+            break
+
+    cost = geometric_median_cost(mat, current, weights=w)
+    # Weiszfeld stalls when the optimum coincides with an input point
+    # (the smoothed update cannot land exactly on a vertex).  Snapping to
+    # the best input point whenever it beats the iterate restores the
+    # guarantee that the returned cost is no worse than any input's.
+    input_costs = np.array([geometric_median_cost(mat, row, weights=w) for row in mat])
+    best_input = int(np.argmin(input_costs))
+    # Snap only on a clear improvement: exact ties (e.g. the two-point
+    # case, where every point of the segment is optimal) keep the
+    # Weiszfeld iterate so the result stays scale/translation equivariant.
+    if cost - input_costs[best_input] > 1e-9 * max(cost, 1.0):
+        current = mat[best_input].copy()
+        cost = float(input_costs[best_input])
+        converged = True
+    result = WeiszfeldResult(
+        point=current, iterations=iterations, converged=converged, cost=cost
+    )
+    return result if return_info else current
+
+
+def coordinatewise_median(vectors: np.ndarray) -> np.ndarray:
+    """Coordinate-wise (marginal) median of the rows.
+
+    Not the same as the geometric median for d >= 2, but coincides with
+    it in one dimension; used as a cheap robust baseline and in tests.
+    """
+    mat = ensure_matrix(vectors, name="vectors")
+    return np.median(mat, axis=0)

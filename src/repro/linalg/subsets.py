@@ -1,0 +1,234 @@
+"""Enumeration and sampling of ``(n - t)``-subsets.
+
+Several constructions in the paper quantify over every subset of size
+``n - t`` of the received vectors:
+
+- ``S_geo`` (Definition 3.1): geometric medians of all such subsets,
+- the candidate means ``A_1 ... A_C(m, n-t)`` in the hyperbox algorithm,
+- the minimum-diameter subset ``MD`` (Definition 3.4).
+
+For the paper's scale (n = 10, t <= 3) exhaustive enumeration is cheap;
+for larger systems the number of subsets explodes, so every consumer can
+switch to uniform random subset sampling with a caller-provided budget.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from typing import Callable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.validation import ensure_matrix
+
+
+def subset_count(m: int, k: int) -> int:
+    """Number of k-subsets of an m-element set (0 when k > m or k < 0)."""
+    if k < 0 or k > m:
+        return 0
+    return comb(m, k)
+
+
+def enumerate_subsets(m: int, k: int) -> Iterator[Tuple[int, ...]]:
+    """Yield every k-subset of ``range(m)`` as a sorted tuple of indices."""
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k > m:
+        return iter(())
+    return combinations(range(m), k)
+
+
+def sample_subsets(
+    m: int,
+    k: int,
+    count: int,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    unique: bool = True,
+) -> list[Tuple[int, ...]]:
+    """Draw ``count`` k-subsets of ``range(m)`` uniformly at random.
+
+    When ``unique`` is true and the requested count reaches the total
+    number of subsets, falls back to exhaustive enumeration (so callers
+    always get distinct subsets when that is possible).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    total = subset_count(m, k)
+    if total == 0:
+        return []
+    generator = as_generator(rng)
+    if unique and count >= total:
+        return list(enumerate_subsets(m, k))
+    picks: list[Tuple[int, ...]] = []
+    seen: set[Tuple[int, ...]] = set()
+    attempts = 0
+    max_attempts = max(64, 16 * count)
+    while len(picks) < count and attempts < max_attempts:
+        attempts += 1
+        idx = tuple(sorted(generator.choice(m, size=k, replace=False).tolist()))
+        if unique:
+            if idx in seen:
+                continue
+            seen.add(idx)
+        picks.append(idx)
+    return picks
+
+
+def subset_aggregates(
+    vectors: np.ndarray,
+    subset_size: int,
+    aggregate: Callable[[np.ndarray], np.ndarray],
+    *,
+    max_subsets: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    include_full_range_extremes: bool = True,
+) -> np.ndarray:
+    """Apply ``aggregate`` to every (or a sample of) ``subset_size``-subsets.
+
+    Parameters
+    ----------
+    vectors:
+        ``(m, d)`` stack of received vectors.
+    subset_size:
+        Size of each subset (``n - t`` in the paper).
+    aggregate:
+        Function mapping an ``(s, d)`` matrix to a ``(d,)`` vector, e.g.
+        the geometric median or the mean.
+    max_subsets:
+        When given and smaller than the exhaustive count, only this many
+        uniformly sampled subsets are evaluated.
+    include_full_range_extremes:
+        When sampling, always include the two "sorted prefix" and
+        "sorted suffix" subsets per coordinate ordering used by the
+        hyperbox intersection proof (g_alpha / g_beta in Theorem 4.4),
+        which guarantees the sampled hyperbox still intersects the
+        trusted hyperbox.  Only applies when sampling is active.
+
+    Returns
+    -------
+    ``(num_subsets, d)`` array of aggregate vectors.
+    """
+    mat = ensure_matrix(vectors, name="vectors")
+    m = mat.shape[0]
+    if subset_size < 1:
+        raise ValueError("subset_size must be at least 1")
+    if subset_size > m:
+        raise ValueError(
+            f"subset_size {subset_size} exceeds the number of vectors {m}"
+        )
+    total = subset_count(m, subset_size)
+    use_sampling = max_subsets is not None and max_subsets < total
+    if not use_sampling:
+        subsets: Sequence[Tuple[int, ...]] = list(enumerate_subsets(m, subset_size))
+    else:
+        subsets = sample_subsets(m, subset_size, int(max_subsets), rng=rng)
+        if include_full_range_extremes:
+            # The proof of Theorem 4.4 relies on the medians of the
+            # `subset_size` smallest and largest vectors (per coordinate
+            # order); including the norm-ordered prefix/suffix keeps the
+            # sampled aggregate cloud anchored.
+            order = np.argsort(np.linalg.norm(mat, axis=1))
+            prefix = tuple(sorted(order[:subset_size].tolist()))
+            suffix = tuple(sorted(order[-subset_size:].tolist()))
+            extra = [s for s in (prefix, suffix) if s not in set(subsets)]
+            subsets = list(subsets) + extra
+    out = np.empty((len(subsets), mat.shape[1]), dtype=np.float64)
+    for row, idx in enumerate(subsets):
+        out[row] = np.asarray(aggregate(mat[list(idx)]), dtype=np.float64).reshape(-1)
+    return out
+
+
+def _candidate_subsets(
+    dist: np.ndarray,
+    m: int,
+    subset_size: int,
+    max_subsets: Optional[int],
+    rng: Optional[np.random.Generator],
+) -> list[Tuple[int, ...]]:
+    total = subset_count(m, subset_size)
+    if max_subsets is not None and max_subsets < total:
+        candidates = sample_subsets(m, subset_size, int(max_subsets), rng=rng)
+        # Greedy candidates anchored at each point: take its subset_size-1
+        # nearest neighbours.  These are usually close to optimal.
+        for anchor in range(m):
+            neighbours = np.argsort(dist[anchor])[:subset_size]
+            candidates.append(tuple(sorted(neighbours.tolist())))
+        return candidates
+    return list(enumerate_subsets(m, subset_size))
+
+
+def minimum_diameter_subset(
+    vectors: np.ndarray,
+    subset_size: int,
+    *,
+    max_subsets: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Tuple[int, ...], float]:
+    """Indices of a ``subset_size``-subset with minimum diameter (Def. 3.4).
+
+    Returns the (sorted) index tuple and its diameter.  Exhaustive by
+    default; a greedy seeded sampling mode is used when ``max_subsets``
+    caps the search.  Ties are broken by the lexicographically smallest
+    index tuple, which makes the choice deterministic.
+    """
+    mat = ensure_matrix(vectors, name="vectors")
+    m = mat.shape[0]
+    if subset_size < 1 or subset_size > m:
+        raise ValueError(
+            f"subset_size must be in [1, {m}], got {subset_size}"
+        )
+    from repro.linalg.distances import pairwise_distances
+
+    dist = pairwise_distances(mat)
+    candidates = _candidate_subsets(dist, m, subset_size, max_subsets, rng)
+
+    best_idx: Optional[Tuple[int, ...]] = None
+    best_diam = np.inf
+    for idx in candidates:
+        rows = list(idx)
+        sub = dist[np.ix_(rows, rows)]
+        diam = float(sub.max())
+        if diam < best_diam - 1e-15 or (
+            abs(diam - best_diam) <= 1e-15 and (best_idx is None or idx < best_idx)
+        ):
+            best_diam = diam
+            best_idx = tuple(idx)
+    assert best_idx is not None
+    return best_idx, best_diam
+
+
+def minimum_diameter_subsets(
+    vectors: np.ndarray,
+    subset_size: int,
+    *,
+    max_subsets: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    tolerance: float = 1e-12,
+) -> Tuple[list[Tuple[int, ...]], float]:
+    """*All* minimum-diameter ``subset_size``-subsets (within ``tolerance``).
+
+    The minimum-diameter set of Definition 3.4 is generally not unique;
+    Lemma 4.2's non-convergence argument relies on an adversarial choice
+    among the tied subsets.  This variant returns every subset whose
+    diameter is within ``tolerance`` (relative to the spread) of the
+    minimum, so callers can implement worst-case tie-breaking.
+    """
+    mat = ensure_matrix(vectors, name="vectors")
+    m = mat.shape[0]
+    if subset_size < 1 or subset_size > m:
+        raise ValueError(f"subset_size must be in [1, {m}], got {subset_size}")
+    from repro.linalg.distances import pairwise_distances
+
+    dist = pairwise_distances(mat)
+    candidates = _candidate_subsets(dist, m, subset_size, max_subsets, rng)
+    diameters = []
+    for idx in candidates:
+        rows = list(idx)
+        diameters.append(float(dist[np.ix_(rows, rows)].max()))
+    best = min(diameters)
+    slack = tolerance * max(1.0, best)
+    tied = [idx for idx, diam in zip(candidates, diameters) if diam <= best + slack]
+    return sorted(set(tied)), best

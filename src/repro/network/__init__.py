@@ -1,0 +1,31 @@
+"""Synchronous peer-to-peer network simulation.
+
+The paper assumes (Section 2.3):
+
+- reliable broadcast: if two non-faulty nodes deliver a message from the
+  same sender in the same round, the delivered contents are identical
+  (a Byzantine sender cannot equivocate), and
+- synchronous rounds: every message sent in round ``r`` is delivered
+  before round ``r + 1`` starts, though a Byzantine sender may *omit*
+  its message towards any subset of receivers (this is exactly the power
+  the adversary uses in the Lemma 4.2 non-convergence construction).
+
+This package simulates those assumptions so agreement algorithms and the
+decentralized learning loop run against the same adversary model the
+theory analyses.
+"""
+
+from repro.network.message import Message
+from repro.network.reliable_broadcast import BroadcastPlan, ReliableBroadcast
+from repro.network.synchronous import RoundResult, SynchronousNetwork
+from repro.network.topology import complete_topology, validate_topology
+
+__all__ = [
+    "BroadcastPlan",
+    "Message",
+    "ReliableBroadcast",
+    "RoundResult",
+    "SynchronousNetwork",
+    "complete_topology",
+    "validate_topology",
+]

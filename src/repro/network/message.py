@@ -1,0 +1,58 @@
+"""Message value object exchanged by simulated nodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single payload sent from ``sender`` in a given round.
+
+    Attributes
+    ----------
+    sender:
+        Index of the sending node.
+    round_index:
+        Synchronous round in which the message was broadcast.
+    payload:
+        The vector being shared.  Stored as an immutable (non-writeable)
+        float64 array so a Byzantine "sender" cannot mutate a message
+        after reliable broadcast accepted it.
+    metadata:
+        Optional free-form annotations (attack name, iteration id, ...).
+        Used only for diagnostics, never by the algorithms themselves.
+    """
+
+    sender: int
+    round_index: int
+    payload: np.ndarray
+    metadata: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.sender < 0:
+            raise ValueError(f"sender must be non-negative, got {self.sender}")
+        if self.round_index < 0:
+            raise ValueError(f"round_index must be non-negative, got {self.round_index}")
+        payload = np.array(self.payload, dtype=np.float64, copy=True).reshape(-1)
+        if payload.size == 0:
+            raise ValueError("payload must be non-empty")
+        payload.setflags(write=False)
+        object.__setattr__(self, "payload", payload)
+
+    @property
+    def dimension(self) -> int:
+        """Dimension of the payload vector."""
+        return int(self.payload.shape[0])
+
+    def with_payload(self, payload: np.ndarray) -> "Message":
+        """Copy of this message carrying a different payload."""
+        return Message(
+            sender=self.sender,
+            round_index=self.round_index,
+            payload=np.asarray(payload, dtype=np.float64),
+            metadata=dict(self.metadata),
+        )

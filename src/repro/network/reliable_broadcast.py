@@ -1,0 +1,135 @@
+"""Reliable-broadcast semantics.
+
+Bracha-style reliable broadcast guarantees that all non-faulty nodes
+that deliver a message from a given sender deliver the *same* message.
+Rather than simulating the three-phase echo protocol message by message,
+the simulator enforces its guarantee directly: a sender contributes at
+most one payload per round, and the only freedom a Byzantine sender
+retains is *which* non-faulty nodes deliver it (selective omission),
+which is consistent with an asynchronous adversary delaying deliveries
+past the round boundary.
+
+:class:`BroadcastPlan` captures one sender's behaviour for one round;
+:class:`ReliableBroadcast` validates plans and materialises the per-node
+delivery lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.network.message import Message
+
+
+@dataclass(frozen=True)
+class BroadcastPlan:
+    """What one sender broadcasts in one round.
+
+    Attributes
+    ----------
+    sender:
+        Sending node index.
+    payload:
+        The single payload reliable broadcast will deliver, or ``None``
+        for a silent (crashed / omitting) sender.
+    recipients:
+        Nodes that deliver the payload this round.  ``None`` means every
+        node.  Non-faulty senders must always use ``None`` (they follow
+        the protocol); Byzantine senders may restrict the set.
+    """
+
+    sender: int
+    payload: Optional[np.ndarray]
+    recipients: Optional[frozenset[int]] = None
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.sender < 0:
+            raise ValueError("sender must be non-negative")
+        if self.payload is not None:
+            payload = np.asarray(self.payload, dtype=np.float64).reshape(-1)
+            if payload.size == 0:
+                raise ValueError("payload must be non-empty when present")
+            object.__setattr__(self, "payload", payload)
+        if self.recipients is not None:
+            object.__setattr__(self, "recipients", frozenset(int(r) for r in self.recipients))
+
+    def delivers_to(self, node: int) -> bool:
+        """Whether ``node`` delivers this sender's message this round."""
+        if self.payload is None:
+            return False
+        return self.recipients is None or node in self.recipients
+
+
+class ReliableBroadcast:
+    """Materialises per-receiver delivery sets for one synchronous round.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (ids ``0 .. n-1``).
+    byzantine:
+        Ids of Byzantine nodes.  Only these senders may restrict their
+        recipient sets or stay silent while holding a payload.
+    """
+
+    def __init__(self, n: int, byzantine: Iterable[int] = ()) -> None:
+        if n < 1:
+            raise ValueError(f"n must be positive, got {n}")
+        self.n = int(n)
+        self.byzantine = frozenset(int(b) for b in byzantine)
+        invalid = [b for b in self.byzantine if b < 0 or b >= self.n]
+        if invalid:
+            raise ValueError(f"byzantine ids out of range: {invalid}")
+
+    def validate_plan(self, plan: BroadcastPlan) -> None:
+        """Reject plans that violate the reliable-broadcast guarantees."""
+        if plan.sender >= self.n:
+            raise ValueError(f"sender {plan.sender} out of range for n={self.n}")
+        if plan.recipients is not None:
+            out_of_range = [r for r in plan.recipients if r < 0 or r >= self.n]
+            if out_of_range:
+                raise ValueError(f"recipients out of range: {sorted(out_of_range)}")
+            if plan.sender not in self.byzantine and plan.recipients != frozenset(range(self.n)):
+                raise ValueError(
+                    "non-faulty senders must broadcast to all nodes "
+                    f"(sender {plan.sender} restricted its recipients)"
+                )
+
+    def deliver(
+        self, plans: Sequence[BroadcastPlan], round_index: int
+    ) -> Dict[int, List[Message]]:
+        """Return the messages each node delivers this round.
+
+        The result maps receiver id to the list of delivered messages,
+        ordered by sender id (deterministic, which keeps experiments
+        reproducible).
+        """
+        by_sender: Dict[int, BroadcastPlan] = {}
+        for plan in plans:
+            self.validate_plan(plan)
+            if plan.sender in by_sender:
+                raise ValueError(
+                    f"sender {plan.sender} submitted two broadcast plans in round {round_index}; "
+                    "reliable broadcast admits at most one message per sender per round"
+                )
+            by_sender[plan.sender] = plan
+
+        inbox: Dict[int, List[Message]] = {node: [] for node in range(self.n)}
+        for sender in sorted(by_sender):
+            plan = by_sender[sender]
+            if plan.payload is None:
+                continue
+            message = Message(
+                sender=sender,
+                round_index=round_index,
+                payload=plan.payload,
+                metadata=dict(plan.metadata),
+            )
+            for node in range(self.n):
+                if plan.delivers_to(node):
+                    inbox[node].append(message)
+        return inbox

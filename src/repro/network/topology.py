@@ -1,0 +1,45 @@
+"""Communication topologies.
+
+The paper's algorithms assume all-to-all communication (every node can
+reliably broadcast to every other node); the decentralized learning loop
+therefore uses a complete graph.  The helpers here build and validate
+topologies as :mod:`networkx` graphs so alternative topologies (for
+extensions / ablations) plug into the same simulator.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def complete_topology(n: int) -> nx.Graph:
+    """Complete graph over ``n`` nodes with self-loops added.
+
+    Self-loops encode that every node "delivers" its own broadcast to
+    itself, which the agreement algorithms rely on (a node's own vector
+    is always part of its received set).
+    """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    graph = nx.complete_graph(n)
+    graph.add_edges_from((i, i) for i in range(n))
+    return graph
+
+
+def validate_topology(graph: nx.Graph, n: int) -> None:
+    """Check a topology covers exactly nodes ``0..n-1``."""
+    nodes = set(graph.nodes)
+    expected = set(range(n))
+    if nodes != expected:
+        raise ValueError(
+            f"topology nodes {sorted(nodes)} do not match expected {sorted(expected)}"
+        )
+
+
+def neighbours(graph: nx.Graph, node: int) -> list[int]:
+    """Sorted list of nodes that receive ``node``'s broadcasts (incl. itself)."""
+    if node not in graph:
+        raise ValueError(f"node {node} is not part of the topology")
+    out = set(graph.neighbors(node))
+    out.add(node)
+    return sorted(out)

@@ -1,0 +1,58 @@
+"""Softmax and categorical cross-entropy.
+
+The paper trains classification models with categorical cross-entropy;
+combining the softmax and the cross-entropy in one function gives the
+numerically stable ``softmax(logits) - one_hot`` gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the max-subtraction stability trick."""
+    z = np.asarray(logits, dtype=np.float64)
+    if z.ndim == 1:
+        z = z.reshape(1, -1)
+    shifted = z - z.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels into shape ``(batch, num_classes)``."""
+    y = np.asarray(labels, dtype=np.int64).reshape(-1)
+    if y.size and (y.min() < 0 or y.max() >= num_classes):
+        raise ValueError("labels out of range for num_classes")
+    out = np.zeros((y.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(y.shape[0]), y] = 1.0
+    return out
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray, *, eps: float = 1e-12
+) -> Tuple[float, np.ndarray]:
+    """Mean categorical cross-entropy and its gradient w.r.t. the logits.
+
+    Returns
+    -------
+    (loss, grad):
+        ``loss`` is the scalar mean cross-entropy over the batch;
+        ``grad`` has the same shape as ``logits`` and already includes the
+        ``1 / batch`` factor, so back-propagating it yields mean-gradient
+        parameter updates.
+    """
+    z = np.asarray(logits, dtype=np.float64)
+    if z.ndim == 1:
+        z = z.reshape(1, -1)
+    probs = softmax(z)
+    batch, num_classes = probs.shape
+    targets = one_hot(labels, num_classes)
+    if targets.shape[0] != batch:
+        raise ValueError("labels batch size does not match logits batch size")
+    loss = float(-(targets * np.log(probs + eps)).sum() / batch)
+    grad = (probs - targets) / batch
+    return loss, grad

@@ -1,0 +1,56 @@
+"""Optimisers operating on flat parameter vectors.
+
+Only plain SGD is needed for the reproduction; the learning-rate decay
+follows the paper: ``decay = eta / rounds`` computed from the number of
+*global* communication rounds (Zhao et al. 2018), i.e.
+``lr(t) = eta / (1 + decay * t)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Stochastic gradient descent with global-round learning-rate decay.
+
+    Parameters
+    ----------
+    learning_rate:
+        Initial learning rate ``eta`` (paper uses 0.01).
+    total_rounds:
+        Number of global communication rounds ``T``; the decay constant
+        is ``eta / T``.  ``None`` disables decay.
+    """
+
+    def __init__(self, learning_rate: float = 0.01, total_rounds: int | None = None) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if total_rounds is not None and total_rounds < 1:
+            raise ValueError(f"total_rounds must be positive, got {total_rounds}")
+        self.learning_rate = float(learning_rate)
+        self.total_rounds = total_rounds
+
+    def decay(self) -> float:
+        """Decay constant ``eta / T`` (0 when decay is disabled)."""
+        if self.total_rounds is None:
+            return 0.0
+        return self.learning_rate / float(self.total_rounds)
+
+    def effective_learning_rate(self, round_index: int) -> float:
+        """Learning rate applied at global round ``round_index`` (0-based)."""
+        if round_index < 0:
+            raise ValueError("round_index must be non-negative")
+        return self.learning_rate / (1.0 + self.decay() * round_index)
+
+    def step(
+        self, parameters: np.ndarray, gradient: np.ndarray, round_index: int = 0
+    ) -> np.ndarray:
+        """Return updated parameters ``theta - lr(t) * gradient``."""
+        theta = np.asarray(parameters, dtype=np.float64).reshape(-1)
+        grad = np.asarray(gradient, dtype=np.float64).reshape(-1)
+        if theta.shape != grad.shape:
+            raise ValueError(
+                f"parameter/gradient shape mismatch: {theta.shape} vs {grad.shape}"
+            )
+        return theta - self.effective_learning_rate(round_index) * grad

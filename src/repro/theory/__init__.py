@@ -1,0 +1,29 @@
+"""Executable versions of the paper's Section 4 constructions.
+
+- :mod:`repro.theory.counterexamples` — the adversarial input families
+  from Theorem 4.1 (safe area), Lemma 4.2 (MD-GEOM non-convergence) and
+  Theorem 4.3 (Krum), each returning the measured approximation ratio /
+  convergence behaviour so tests and benchmarks can check the claims.
+- :mod:`repro.theory.bounds` — empirical verification of Theorem 4.4:
+  the hyperbox intersection is never empty, the honest diameter halves
+  per sub-round, and the measured approximation ratio stays below
+  ``2 * sqrt(d)``.
+"""
+
+from repro.theory.counterexamples import (
+    krum_unbounded_instance,
+    md_geom_non_convergence_instance,
+    safe_area_unbounded_instance,
+)
+from repro.theory.bounds import (
+    hyperbox_approximation_ratio_experiment,
+    hyperbox_contraction_experiment,
+)
+
+__all__ = [
+    "hyperbox_approximation_ratio_experiment",
+    "hyperbox_contraction_experiment",
+    "krum_unbounded_instance",
+    "md_geom_non_convergence_instance",
+    "safe_area_unbounded_instance",
+]

@@ -1,0 +1,50 @@
+"""Wall-clock timing helper for experiment bookkeeping."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+from contextlib import contextmanager
+
+
+@dataclass
+class Timer:
+    """Accumulates named wall-clock timings.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.measure("aggregation"):
+    ...     _ = sum(range(1000))
+    >>> timer.total("aggregation") >= 0.0
+    True
+    """
+
+    records: Dict[str, List[float]] = field(default_factory=dict)
+
+    @contextmanager
+    def measure(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.records.setdefault(name, []).append(elapsed)
+
+    def total(self, name: str) -> float:
+        """Total seconds accumulated under ``name`` (0.0 when unused)."""
+        return float(sum(self.records.get(name, [])))
+
+    def count(self, name: str) -> int:
+        """Number of measurements recorded under ``name``."""
+        return len(self.records.get(name, []))
+
+    def mean(self, name: str) -> float:
+        """Mean seconds per measurement under ``name`` (0.0 when unused)."""
+        values = self.records.get(name, [])
+        return float(sum(values) / len(values)) if values else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Mapping of name to total seconds, for report printing."""
+        return {name: self.total(name) for name in self.records}

@@ -1,0 +1,100 @@
+"""Input validation helpers shared across the library.
+
+The agreement and aggregation code paths are all driven by stacks of
+``(m, d)`` vectors; validating shapes and the Byzantine resilience bound
+in one place keeps the numerical code free of defensive clutter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` when ``condition`` is false."""
+    if not condition:
+        raise ValueError(message)
+
+
+def ensure_vector(value: "np.typing.ArrayLike", *, name: str = "vector") -> np.ndarray:
+    """Convert ``value`` to a 1-D float64 array, validating the shape."""
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr
+
+
+def ensure_matrix(
+    value: "np.typing.ArrayLike | Iterable[np.typing.ArrayLike]",
+    *,
+    name: str = "vectors",
+    min_rows: int = 1,
+    allow_non_finite: bool = False,
+) -> np.ndarray:
+    """Convert a sequence of vectors to an ``(m, d)`` float64 matrix.
+
+    Accepts a 2-D array, a list of 1-D arrays, or a single vector (which
+    becomes a one-row matrix).
+    """
+    if isinstance(value, np.ndarray):
+        arr = np.asarray(value, dtype=np.float64)
+    else:
+        rows = [np.asarray(v, dtype=np.float64) for v in value]
+        if not rows:
+            raise ValueError(f"{name} must contain at least {min_rows} vector(s)")
+        arr = np.stack([r.reshape(-1) for r in rows], axis=0)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be a 2-D stack of vectors, got shape {arr.shape}")
+    if arr.shape[0] < min_rows:
+        raise ValueError(
+            f"{name} must contain at least {min_rows} vector(s), got {arr.shape[0]}"
+        )
+    if arr.shape[1] == 0:
+        raise ValueError(f"{name} must have positive dimension")
+    if not allow_non_finite and not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr
+
+
+def validate_byzantine_bound(n: int, t: int, *, resilience_divisor: int = 3) -> None:
+    """Validate the standard ``t < n / 3`` Byzantine resilience condition.
+
+    Parameters
+    ----------
+    n:
+        Total number of nodes in the system.
+    t:
+        Maximum number of Byzantine nodes tolerated.
+    resilience_divisor:
+        The denominator of the resilience bound (3 for hyperbox/MDA-style
+        algorithms; safe-area algorithms use ``max(3, d + 1)``).
+    """
+    require(n >= 1, f"n must be positive, got {n}")
+    require(t >= 0, f"t must be non-negative, got {t}")
+    if resilience_divisor <= 0:
+        raise ValueError(f"resilience_divisor must be positive, got {resilience_divisor}")
+    if t * resilience_divisor >= n:
+        raise ValueError(
+            f"Byzantine resilience violated: need t < n/{resilience_divisor} "
+            f"but got n={n}, t={t}"
+        )
+
+
+def validate_same_dimension(vectors: Sequence[np.ndarray], *, name: str = "vectors") -> int:
+    """Check that all vectors share the same dimension and return it."""
+    if len(vectors) == 0:
+        raise ValueError(f"{name} must be non-empty")
+    dims = {int(np.asarray(v).reshape(-1).shape[0]) for v in vectors}
+    if len(dims) != 1:
+        raise ValueError(f"{name} have inconsistent dimensions: {sorted(dims)}")
+    return dims.pop()

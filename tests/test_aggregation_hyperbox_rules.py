@@ -1,0 +1,118 @@
+"""Tests for the one-shot BOX-MEAN / BOX-GEOM rules."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.hyperbox_rules import HyperboxGeometricMedian, HyperboxMean
+from repro.linalg.hyperbox import bounding_hyperbox
+
+
+class TestTrustedHyperbox:
+    def test_contained_in_honest_box_with_byzantine_value(self, cloud_with_outlier):
+        rule = HyperboxGeometricMedian(n=10, t=1)
+        th = rule.trusted_hyperbox(cloud_with_outlier)
+        honest_box = bounding_hyperbox(cloud_with_outlier[:9])
+        assert honest_box.contains_box(th)
+
+    def test_no_trim_when_all_messages_honest_count(self):
+        # Exactly n - t messages received: nothing is trimmed.
+        rng = np.random.default_rng(0)
+        received = rng.normal(size=(9, 4))
+        rule = HyperboxGeometricMedian(n=10, t=1)
+        th = rule.trusted_hyperbox(received)
+        ref = bounding_hyperbox(received)
+        np.testing.assert_allclose(th.lower, ref.lower)
+        np.testing.assert_allclose(th.upper, ref.upper)
+
+
+class TestIntersectionNonEmpty:
+    @pytest.mark.parametrize("t", [1, 2, 3])
+    def test_intersection_never_empty_random(self, t, rng):
+        # Theorem 4.4, first part: TH ∩ GH is non-empty.
+        n = 10
+        for trial in range(5):
+            honest = rng.normal(0.0, 2.0, size=(n - t, 5))
+            byz = rng.normal(0.0, 2.0, size=(t, 5)) * 20.0
+            received = np.vstack([honest, byz])
+            rule = HyperboxGeometricMedian(n=n, t=t)
+            th = rule.trusted_hyperbox(received)
+            gh = rule.aggregate_hyperbox(received)
+            assert not th.intersect(gh).is_empty
+
+    def test_box_mean_intersection_non_empty(self, rng):
+        n, t = 10, 2
+        honest = rng.normal(size=(n - t, 4))
+        byz = np.full((t, 4), 50.0)
+        received = np.vstack([honest, byz])
+        rule = HyperboxMean(n=n, t=t)
+        assert not rule.trusted_hyperbox(received).intersect(
+            rule.aggregate_hyperbox(received)
+        ).is_empty
+
+
+class TestHyperboxGeometricMedian:
+    def test_output_inside_trusted_hyperbox(self, cloud_with_outlier):
+        rule = HyperboxGeometricMedian(n=10, t=1)
+        out = rule.aggregate(cloud_with_outlier)
+        assert rule.trusted_hyperbox(cloud_with_outlier).contains(out, atol=1e-9)
+
+    def test_output_inside_honest_bounding_box(self, cloud_with_outlier):
+        # The trusted hyperbox is contained in the honest box, hence so is
+        # the output: Byzantine values cannot pull the aggregate outside
+        # the honest range in any coordinate.
+        rule = HyperboxGeometricMedian(n=10, t=1)
+        out = rule.aggregate(cloud_with_outlier)
+        assert bounding_hyperbox(cloud_with_outlier[:9]).contains(out, atol=1e-9)
+
+    def test_respects_2sqrtd_bound(self, rng):
+        from repro.agreement.metrics import approximation_ratio
+
+        n, t, d = 10, 1, 6
+        bound = 2.0 * np.sqrt(d)
+        rule = HyperboxGeometricMedian(n=n, t=t)
+        for _ in range(5):
+            honest = rng.normal(0.0, 1.0, size=(n - t, d))
+            byz = rng.normal(0.0, 1.0, size=(t, d)) + 25.0
+            received = np.vstack([honest, byz])
+            out = rule.aggregate(received)
+            assert approximation_ratio(out, honest, received, n, t) <= bound + 1e-9
+
+    def test_identical_inputs_fixed_point(self):
+        pts = np.tile([1.5, -2.0, 0.25], (10, 1))
+        out = HyperboxGeometricMedian(n=10, t=1).aggregate(pts)
+        np.testing.assert_allclose(out, [1.5, -2.0, 0.25], atol=1e-9)
+
+    def test_max_subsets_sampling(self, cloud_with_outlier, rng):
+        exact = HyperboxGeometricMedian(n=10, t=1).aggregate(cloud_with_outlier)
+        sampled = HyperboxGeometricMedian(n=10, t=1, max_subsets=8, rng=rng).aggregate(
+            cloud_with_outlier
+        )
+        # Sampling perturbs GH but the output stays in the honest box.
+        assert bounding_hyperbox(cloud_with_outlier[:9]).contains(sampled, atol=1e-9)
+        assert np.linalg.norm(exact - sampled) < 5.0
+
+    def test_invalid_max_subsets(self):
+        with pytest.raises(ValueError):
+            HyperboxGeometricMedian(n=10, t=1, max_subsets=0)
+
+
+class TestHyperboxMean:
+    def test_output_inside_honest_box(self, cloud_with_outlier):
+        rule = HyperboxMean(n=10, t=1)
+        out = rule.aggregate(cloud_with_outlier)
+        assert bounding_hyperbox(cloud_with_outlier[:9]).contains(out, atol=1e-9)
+
+    def test_no_byzantine_near_mean(self, gaussian_cloud):
+        # With t=1 but only honest vectors, BOX-MEAN's output should stay
+        # close to the overall mean (all subset means cluster around it).
+        out = HyperboxMean(n=10, t=1).aggregate(gaussian_cloud)
+        spread = np.linalg.norm(gaussian_cloud.std(axis=0))
+        assert np.linalg.norm(out - gaussian_cloud.mean(axis=0)) < spread
+
+    def test_differs_from_box_geom_on_skewed_data(self, rng):
+        honest = np.vstack([rng.normal(0.0, 0.2, size=(7, 3)), rng.normal(5.0, 0.2, size=(2, 3))])
+        byz = np.full((1, 3), 100.0)
+        received = np.vstack([honest, byz])
+        mean_out = HyperboxMean(n=10, t=1).aggregate(received)
+        geom_out = HyperboxGeometricMedian(n=10, t=1).aggregate(received)
+        assert not np.allclose(mean_out, geom_out)

@@ -1,0 +1,86 @@
+"""Tests for Krum and Multi-Krum."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.krum import Krum, MultiKrum, krum_scores
+
+
+class TestKrumScores:
+    def test_shape(self, gaussian_cloud):
+        scores = krum_scores(gaussian_cloud, n=10, t=1)
+        assert scores.shape == (10,)
+
+    def test_outlier_has_highest_score(self, cloud_with_outlier):
+        scores = krum_scores(cloud_with_outlier, n=10, t=1)
+        assert int(np.argmax(scores)) == 9
+
+    def test_single_vector(self):
+        scores = krum_scores(np.array([[1.0, 2.0]]), n=10, t=1)
+        np.testing.assert_allclose(scores, [0.0])
+
+    def test_neighbourhood_override(self, gaussian_cloud):
+        tight = krum_scores(gaussian_cloud, n=10, t=1, neighbourhood=2)
+        wide = krum_scores(gaussian_cloud, n=10, t=1, neighbourhood=8)
+        assert np.all(tight <= wide + 1e-12)
+
+    def test_scores_nonnegative(self, gaussian_cloud):
+        assert np.all(krum_scores(gaussian_cloud, n=10, t=2) >= 0.0)
+
+
+class TestKrum:
+    def test_output_is_an_input_vector(self, gaussian_cloud):
+        out = Krum(n=10, t=1).aggregate(gaussian_cloud)
+        assert any(np.allclose(out, row) for row in gaussian_cloud)
+
+    def test_never_selects_far_outlier(self, cloud_with_outlier):
+        rule = Krum(n=10, t=1)
+        assert rule.selected_index(cloud_with_outlier) != 9
+
+    def test_selects_cluster_member_against_adversary(self, rng):
+        honest = rng.normal(0.0, 0.5, size=(8, 6))
+        byz = np.full((2, 6), 100.0)
+        received = np.vstack([honest, byz])
+        out = Krum(n=10, t=2).aggregate(received)
+        assert np.linalg.norm(out - honest.mean(axis=0)) < 5.0
+
+    def test_invalid_neighbourhood(self):
+        with pytest.raises(ValueError):
+            Krum(n=10, t=1, neighbourhood=0)
+
+    def test_deterministic_tie_break(self):
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 1.0], [1.0, 1.0]])
+        idx = Krum(n=4, t=0).selected_index(pts)
+        assert idx == 0
+
+
+class TestMultiKrum:
+    def test_q_one_equals_krum(self, gaussian_cloud):
+        krum_out = Krum(n=10, t=1).aggregate(gaussian_cloud)
+        multi_out = MultiKrum(n=10, t=1, q=1).aggregate(gaussian_cloud)
+        np.testing.assert_allclose(multi_out, krum_out)
+
+    def test_q_equals_m_is_mean(self, gaussian_cloud):
+        out = MultiKrum(n=10, t=1, q=10).aggregate(gaussian_cloud)
+        np.testing.assert_allclose(out, gaussian_cloud.mean(axis=0), atol=1e-12)
+
+    def test_selected_count(self, gaussian_cloud):
+        picks = MultiKrum(n=10, t=1, q=3).selected_indices(gaussian_cloud)
+        assert len(picks) == 3
+        assert len(set(picks.tolist())) == 3
+
+    def test_outlier_not_in_selection(self, cloud_with_outlier):
+        picks = MultiKrum(n=10, t=1, q=3).selected_indices(cloud_with_outlier)
+        assert 9 not in picks.tolist()
+
+    def test_q_larger_than_m_clipped(self):
+        pts = np.random.default_rng(0).normal(size=(4, 3))
+        out = MultiKrum(n=10, t=1, q=50).aggregate(pts)
+        np.testing.assert_allclose(out, pts.mean(axis=0), atol=1e-12)
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            MultiKrum(n=10, t=1, q=0)
+
+    def test_paper_q3_default(self):
+        assert MultiKrum(n=10, t=1).q == 3

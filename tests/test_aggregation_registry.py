@@ -1,0 +1,72 @@
+"""Tests for the aggregation rule registry."""
+
+import numpy as np
+import pytest
+
+from repro.aggregation.base import AggregationRule
+from repro.aggregation.registry import available_rules, make_rule, register_rule
+
+
+EXPECTED_RULES = {
+    "mean",
+    "cw-median",
+    "trimmed-mean",
+    "geomedian",
+    "medoid",
+    "krum",
+    "multi-krum",
+    "md-mean",
+    "md-geom",
+    "box-mean",
+    "box-geom",
+}
+
+
+class TestRegistry:
+    def test_all_paper_rules_registered(self):
+        assert EXPECTED_RULES.issubset(set(available_rules()))
+
+    def test_make_rule_instances(self, gaussian_cloud):
+        for name in EXPECTED_RULES:
+            rule = make_rule(name, n=10, t=1)
+            out = rule.aggregate(gaussian_cloud)
+            assert out.shape == (gaussian_cloud.shape[1],)
+            assert np.all(np.isfinite(out))
+
+    def test_unknown_rule(self):
+        with pytest.raises(KeyError):
+            make_rule("does-not-exist", n=10, t=1)
+
+    def test_kwargs_forwarded(self, gaussian_cloud):
+        rule = make_rule("multi-krum", n=10, t=1, q=5)
+        assert rule.q == 5
+
+    def test_case_insensitive(self):
+        rule = make_rule("Box-Geom", n=10, t=1)
+        assert rule.name == "box-geom"
+
+    def test_register_duplicate_rejected(self):
+        class Dummy(AggregationRule):
+            name = "dummy-rule"
+
+            def _aggregate(self, vectors):
+                return vectors.mean(axis=0)
+
+        register_rule("dummy-rule-test", Dummy)
+        try:
+            with pytest.raises(ValueError):
+                register_rule("dummy-rule-test", Dummy)
+            register_rule("dummy-rule-test", Dummy, overwrite=True)
+        finally:
+            # Clean up so repeated test runs in one session stay isolated.
+            from repro.aggregation import registry
+
+            registry._REGISTRY.pop("dummy-rule-test", None)
+
+    def test_register_empty_name_rejected(self):
+        class Dummy(AggregationRule):
+            def _aggregate(self, vectors):
+                return vectors.mean(axis=0)
+
+        with pytest.raises(ValueError):
+            register_rule("  ", Dummy)

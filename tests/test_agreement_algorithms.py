@@ -1,0 +1,162 @@
+"""Behavioural tests of the concrete agreement algorithms.
+
+These tests check the paper's qualitative claims:
+
+- BOX-GEOM / BOX-MEAN converge (honest diameter contracts) even under
+  split-brain adversaries (Theorem 4.4).
+- MD-GEOM admits non-convergent executions under the adversarial
+  tie-break (Lemma 4.2) but behaves well with a benign scheduler.
+- Outputs of the BOX algorithms stay inside the honest bounding box.
+- The safe-area algorithm works for small d and enforces its resilience
+  condition.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agreement.algorithms import (
+    HyperboxGeometricMedianAgreement,
+    HyperboxMeanAgreement,
+    MinimumDiameterGeometricMedianAgreement,
+    MinimumDiameterMeanAgreement,
+    SimpleGeometricMedianAgreement,
+    SimpleMeanAgreement,
+    TrimmedMeanAgreement,
+)
+from repro.agreement.base import AgreementProtocol
+from repro.agreement.registry import available_algorithms, make_algorithm
+from repro.agreement.safe_area import SafeAreaAgreement
+from repro.byzantine.partition import PartitionAttack
+from repro.byzantine.sign_flip import SignFlipAttack
+
+
+def two_pole_inputs(n_honest, d, separation, rng):
+    half = n_honest // 2
+    direction = np.zeros(d)
+    direction[0] = 1.0
+    inputs = np.vstack(
+        [np.zeros((half, d)), np.tile(separation * direction, (n_honest - half, 1))]
+    )
+    noise = rng.normal(0.0, 1e-3, size=inputs.shape)
+    return inputs + noise
+
+
+class TestHyperboxAgreementConvergence:
+    @pytest.mark.parametrize("algo_cls", [HyperboxGeometricMedianAgreement, HyperboxMeanAgreement])
+    def test_contracts_under_partition_attack(self, algo_cls, rng):
+        n, t, d = 10, 2, 4
+        honest_count = n - t
+        algorithm = algo_cls(n, t)
+        group_a = list(range(honest_count // 2))
+        group_b = list(range(honest_count // 2, honest_count))
+        attack = PartitionAttack(group_a=group_a, group_b=group_b)
+        protocol = AgreementProtocol(algorithm, byzantine=(8, 9), attack=attack, seed=1)
+        inputs = two_pole_inputs(honest_count, d, separation=8.0, rng=rng)
+        result = protocol.run(inputs, rounds=10)
+        diameters = result.diameter_trace()
+        # Theorem 4.4: E_max at least halves per round, so after 10 rounds
+        # the diameter must have contracted by orders of magnitude.
+        assert diameters[-1] < diameters[0] * 1e-2
+        assert result.converged(epsilon=diameters[0] * 0.05)
+
+    def test_outputs_stay_in_honest_box(self, rng):
+        n, t, d = 10, 1, 5
+        algorithm = HyperboxGeometricMedianAgreement(n, t)
+        protocol = AgreementProtocol(algorithm, byzantine=(9,), attack=SignFlipAttack(scale=50.0), seed=0)
+        inputs = rng.normal(size=(n - 1, d))
+        result = protocol.run(inputs, rounds=5)
+        for round_idx in range(result.rounds):
+            mat = result.honest_matrix(round_idx)
+            assert np.all(mat >= inputs.min(axis=0) - 1e-9)
+            assert np.all(mat <= inputs.max(axis=0) + 1e-9)
+
+    def test_validity_identical_inputs_unchanged(self):
+        n, t = 6, 1
+        algorithm = HyperboxGeometricMedianAgreement(n, t)
+        protocol = AgreementProtocol(algorithm, byzantine=(5,), attack=SignFlipAttack(), seed=0)
+        inputs = np.tile([2.0, -1.0, 0.5], (n - 1, 1))
+        result = protocol.run(inputs, rounds=3)
+        np.testing.assert_allclose(result.final_matrix(), inputs, atol=1e-9)
+
+
+class TestMinimumDiameterAgreement:
+    def test_adversarial_tie_break_non_convergence(self):
+        from repro.theory.counterexamples import md_geom_non_convergence_instance
+
+        report = md_geom_non_convergence_instance(rounds=6)
+        assert report["converged"] is False
+        assert report["final_diameter"] == pytest.approx(report["initial_diameter"], rel=1e-4)
+
+    def test_benign_tie_break_converges_on_same_instance(self):
+        from repro.theory.counterexamples import md_geom_non_convergence_instance
+
+        report = md_geom_non_convergence_instance(rounds=6, tie_break="first")
+        assert report["converged"] is True
+
+    def test_md_mean_converges_under_sign_flip(self, rng):
+        n, t, d = 10, 1, 4
+        algorithm = MinimumDiameterMeanAgreement(n, t)
+        protocol = AgreementProtocol(algorithm, byzantine=(9,), attack=SignFlipAttack(), seed=0)
+        inputs = rng.normal(size=(n - 1, d))
+        result = protocol.run(inputs, rounds=4)
+        assert result.converged(1e-6)
+
+
+class TestOtherAgreements:
+    def test_trimmed_mean_converges(self, rng):
+        n, t, d = 7, 2, 3
+        algorithm = TrimmedMeanAgreement(n, t)
+        protocol = AgreementProtocol(algorithm, byzantine=(5, 6), attack=SignFlipAttack(), seed=0)
+        inputs = rng.normal(size=(n - 2, d))
+        result = protocol.run(inputs, rounds=4)
+        assert result.converged(1e-9)
+
+    def test_simple_mean_and_geomedian_names(self):
+        assert SimpleMeanAgreement(6, 1).name == "mean"
+        assert SimpleGeometricMedianAgreement(6, 1).name == "geomedian"
+
+    def test_safe_area_low_dimension(self, rng):
+        n, t, d = 8, 1, 2
+        algorithm = SafeAreaAgreement(n, t)
+        received = rng.normal(size=(n, d))
+        out = algorithm.update(received)
+        assert out.shape == (d,)
+
+    def test_safe_area_rejects_high_dimension(self, rng):
+        n, t, d = 8, 1, 10
+        algorithm = SafeAreaAgreement(n, t)
+        with pytest.raises(ValueError):
+            algorithm.update(rng.normal(size=(n, d)))
+
+    def test_safe_area_quorum(self, rng):
+        algorithm = SafeAreaAgreement(9, 1)
+        with pytest.raises(ValueError):
+            algorithm.update(rng.normal(size=(3, 2)))
+
+
+class TestAgreementRegistry:
+    def test_paper_algorithms_available(self):
+        expected = {"box-geom", "box-mean", "md-geom", "md-mean", "trimmed-mean",
+                    "safe-area", "mean", "geomedian"}
+        assert expected.issubset(set(available_algorithms()))
+
+    def test_make_algorithm(self):
+        algo = make_algorithm("box-geom", 10, 1)
+        assert isinstance(algo, HyperboxGeometricMedianAgreement)
+        assert algo.n == 10 and algo.t == 1
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_algorithm("nope", 10, 1)
+
+    def test_kwargs_forwarded(self):
+        algo = make_algorithm("md-geom", 10, 1, tie_break="adversarial")
+        assert algo.rule.tie_break == "adversarial"
+
+    def test_all_registered_update_works(self, rng):
+        received = rng.normal(size=(10, 3))
+        for name in available_algorithms():
+            algo = make_algorithm(name, 10, 1)
+            out = algo.update(received)
+            assert out.shape == (3,)
+            assert np.all(np.isfinite(out))

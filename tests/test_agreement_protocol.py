@@ -1,0 +1,123 @@
+"""Tests for the agreement protocol runner and result bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.agreement.algorithms import (
+    HyperboxGeometricMedianAgreement,
+    HyperboxMeanAgreement,
+    TrimmedMeanAgreement,
+)
+from repro.agreement.base import AggregationAgreement, AgreementProtocol, AgreementResult
+from repro.aggregation.mean import Mean
+from repro.byzantine.crash import CrashAttack
+from repro.byzantine.sign_flip import SignFlipAttack
+
+
+class TestAgreementResult:
+    def test_final_vectors_without_rounds(self):
+        initial = {0: np.zeros(2), 1: np.ones(2)}
+        result = AgreementResult(initial=initial, honest_ids=(0, 1))
+        assert result.rounds == 0
+        np.testing.assert_allclose(result.final_matrix(), [[0.0, 0.0], [1.0, 1.0]])
+
+    def test_diameter_trace_starts_at_inputs(self):
+        initial = {0: np.zeros(2), 1: np.array([3.0, 4.0])}
+        result = AgreementResult(initial=initial, honest_ids=(0, 1))
+        assert result.diameter_trace() == [pytest.approx(5.0)]
+
+    def test_converged_epsilon(self):
+        initial = {0: np.zeros(1), 1: np.array([0.5])}
+        result = AgreementResult(initial=initial, honest_ids=(0, 1))
+        assert result.converged(1.0)
+        assert not result.converged(0.1)
+
+
+class TestAggregationAgreement:
+    def test_wraps_rule(self, gaussian_cloud):
+        agreement = AggregationAgreement(10, 1, Mean())
+        out = agreement.update(gaussian_cloud)
+        np.testing.assert_allclose(out, gaussian_cloud.mean(axis=0))
+
+    def test_quorum_enforced(self):
+        agreement = AggregationAgreement(10, 2, Mean())
+        with pytest.raises(ValueError):
+            agreement.update(np.zeros((5, 3)))
+
+    def test_resilience_bound_enforced(self):
+        with pytest.raises(ValueError):
+            HyperboxGeometricMedianAgreement(9, 3)
+
+    def test_minimum_messages(self):
+        assert HyperboxGeometricMedianAgreement(10, 3).minimum_messages() == 7
+
+
+class TestAgreementProtocol:
+    def test_no_byzantine_converges_immediately(self, rng):
+        algorithm = HyperboxMeanAgreement(6, 1)
+        protocol = AgreementProtocol(algorithm, byzantine=(), attack=None)
+        inputs = rng.normal(size=(6, 3))
+        result = protocol.run(inputs, rounds=2)
+        # All nodes see the same messages, so they agree exactly after one round.
+        assert result.diameter_trace()[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_crash_attack_tolerated(self, rng):
+        n, t = 7, 2
+        algorithm = HyperboxGeometricMedianAgreement(n, t)
+        protocol = AgreementProtocol(algorithm, byzantine=(5, 6), attack=CrashAttack())
+        inputs = rng.normal(size=(n - 2, 4))
+        result = protocol.run(inputs, rounds=3)
+        assert result.converged(1e-6)
+
+    def test_sign_flip_attack_converges_and_stays_in_honest_box(self, rng):
+        n, t = 10, 1
+        algorithm = HyperboxGeometricMedianAgreement(n, t)
+        protocol = AgreementProtocol(algorithm, byzantine=(9,), attack=SignFlipAttack())
+        inputs = rng.normal(size=(n - 1, 5))
+        result = protocol.run(inputs, rounds=4)
+        assert result.converged(1e-6)
+        final = result.final_matrix()
+        assert np.all(final >= inputs.min(axis=0) - 1e-9)
+        assert np.all(final <= inputs.max(axis=0) + 1e-9)
+
+    def test_too_many_byzantine_rejected(self):
+        algorithm = HyperboxMeanAgreement(10, 1)
+        with pytest.raises(ValueError):
+            AgreementProtocol(algorithm, byzantine=(8, 9), attack=SignFlipAttack())
+
+    def test_byzantine_id_out_of_range(self):
+        algorithm = HyperboxMeanAgreement(10, 2)
+        with pytest.raises(ValueError):
+            AgreementProtocol(algorithm, byzantine=(10,), attack=None)
+
+    def test_dict_inputs(self, rng):
+        algorithm = TrimmedMeanAgreement(5, 1)
+        protocol = AgreementProtocol(algorithm, byzantine=(4,), attack=CrashAttack())
+        inputs = {i: rng.normal(size=3) for i in range(4)}
+        result = protocol.run(inputs, rounds=2)
+        assert set(result.final_vectors()) == {0, 1, 2, 3}
+
+    def test_missing_dict_input_rejected(self, rng):
+        algorithm = TrimmedMeanAgreement(5, 1)
+        protocol = AgreementProtocol(algorithm, byzantine=(4,), attack=None)
+        with pytest.raises(ValueError):
+            protocol.run({0: np.zeros(2)}, rounds=1)
+
+    def test_matrix_input_row_count_mismatch(self, rng):
+        algorithm = TrimmedMeanAgreement(5, 1)
+        protocol = AgreementProtocol(algorithm, byzantine=(4,), attack=None)
+        with pytest.raises(ValueError):
+            protocol.run(rng.normal(size=(5, 2)), rounds=1)
+
+    def test_zero_rounds_returns_inputs(self, rng):
+        algorithm = TrimmedMeanAgreement(4, 1)
+        protocol = AgreementProtocol(algorithm, byzantine=(), attack=None)
+        inputs = rng.normal(size=(4, 2))
+        result = protocol.run(inputs, rounds=0)
+        np.testing.assert_allclose(result.final_matrix(), inputs)
+
+    def test_negative_rounds_rejected(self, rng):
+        algorithm = TrimmedMeanAgreement(4, 1)
+        protocol = AgreementProtocol(algorithm, byzantine=(), attack=None)
+        with pytest.raises(ValueError):
+            protocol.run(rng.normal(size=(4, 2)), rounds=-1)

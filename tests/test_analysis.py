@@ -1,0 +1,116 @@
+"""Tests for repro.analysis (trace statistics and reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import comparison_table, histories_to_records
+from repro.analysis.traces import (
+    classify_trace,
+    moving_average,
+    relative_gap,
+    summarize_history,
+)
+from repro.learning.history import RoundRecord, TrainingHistory
+
+
+def make_history(accuracies, aggregation="box-geom"):
+    history = TrainingHistory(
+        setting="centralized", aggregation=aggregation, attack="sign-flip",
+        heterogeneity="mild", num_clients=10, num_byzantine=1,
+    )
+    for r, acc in enumerate(accuracies):
+        history.append(RoundRecord(round_index=r, accuracy=acc, loss=1.0 - acc))
+    return history
+
+
+class TestMovingAverage:
+    def test_constant_sequence_unchanged(self):
+        assert moving_average([0.5] * 6, window=3) == [0.5] * 6
+
+    def test_length_preserved(self):
+        assert len(moving_average([0.1, 0.2, 0.9], window=5)) == 3
+
+    def test_smooths_spike(self):
+        smooth = moving_average([0.0, 0.0, 1.0, 0.0, 0.0], window=3)
+        assert max(smooth) < 1.0
+
+    def test_window_one_is_identity(self):
+        values = [0.1, 0.9, 0.3]
+        assert moving_average(values, window=1) == values
+
+    def test_empty(self):
+        assert moving_average([], window=3) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([0.1], window=0)
+
+
+class TestRelativeGap:
+    def test_sign(self):
+        assert relative_gap(0.8, 0.4) > 0
+        assert relative_gap(0.4, 0.8) < 0
+
+    def test_zero_denominator_guard(self):
+        assert relative_gap(0.0, 0.0) == 0.0
+
+
+class TestClassifyTrace:
+    def test_converging(self):
+        trace = list(np.linspace(0.1, 0.9, 30))
+        assert classify_trace(trace) == "converging"
+
+    def test_stagnant(self):
+        trace = [0.1] * 20
+        assert classify_trace(trace) == "stagnant"
+
+    def test_diverging(self):
+        trace = list(np.linspace(0.1, 0.7, 15)) + [0.12] * 15
+        assert classify_trace(trace) == "diverging"
+
+    def test_unstable(self):
+        rng = np.random.default_rng(0)
+        trace = (0.5 + 0.3 * np.sin(np.arange(40)) + rng.normal(0, 0.02, 40)).clip(0, 1)
+        assert classify_trace(trace.tolist()) in ("unstable", "diverging")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify_trace([])
+
+
+class TestSummaries:
+    def test_summarize_history(self):
+        history = make_history(list(np.linspace(0.1, 0.8, 20)))
+        summary = summarize_history(history)
+        assert summary.final == pytest.approx(0.8)
+        assert summary.best == pytest.approx(0.8)
+        assert summary.classification == "converging"
+        assert summary.above_chance
+
+    def test_summarize_empty_rejected(self):
+        history = TrainingHistory(
+            setting="centralized", aggregation="mean", attack=None,
+            heterogeneity="uniform", num_clients=2, num_byzantine=0,
+        )
+        with pytest.raises(ValueError):
+            summarize_history(history)
+
+    def test_histories_to_records(self):
+        histories = {
+            "box-geom": make_history(list(np.linspace(0.1, 0.8, 20))),
+            "mean": make_history([0.1] * 20, aggregation="mean"),
+        }
+        records = histories_to_records(histories)
+        assert len(records) == 2
+        by_label = {r["label"]: r for r in records}
+        assert by_label["box-geom"]["classification"] == "converging"
+        assert by_label["mean"]["classification"] == "stagnant"
+
+    def test_comparison_table_contains_all_labels(self):
+        histories = {
+            "box-geom": make_history([0.1, 0.5, 0.8]),
+            "md-mean": make_history([0.1, 0.1, 0.1], aggregation="md-mean"),
+        }
+        table = comparison_table(histories)
+        assert "box-geom" in table and "md-mean" in table
+        assert "verdict" in table

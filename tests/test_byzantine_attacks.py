@@ -1,0 +1,207 @@
+"""Tests for the Byzantine attack models."""
+
+import numpy as np
+import pytest
+
+from repro.byzantine.base import AttackContext
+from repro.byzantine.crash import CrashAttack
+from repro.byzantine.label_flip import LabelFlipAttack, flip_labels
+from repro.byzantine.magnitude import MagnitudeAttack
+from repro.byzantine.omniscient import OppositeOfMeanAttack
+from repro.byzantine.partition import PartitionAttack
+from repro.byzantine.random_noise import GaussianNoiseAttack, RandomVectorAttack
+from repro.byzantine.registry import available_attacks, make_attack
+from repro.byzantine.sign_flip import SignFlipAttack
+
+
+def make_context(rng, own=None, honest_count=5, d=4, node=9, round_index=0):
+    honest = {i: rng.normal(size=d) for i in range(honest_count)}
+    return AttackContext(
+        node=node,
+        round_index=round_index,
+        own_vector=own,
+        honest_vectors=honest,
+        rng=rng,
+    )
+
+
+class TestAttackContext:
+    def test_dimension_from_own_vector(self, rng):
+        ctx = make_context(rng, own=np.zeros(6), d=6)
+        assert ctx.dimension == 6
+
+    def test_dimension_from_honest(self, rng):
+        ctx = make_context(rng, own=None, d=3)
+        assert ctx.dimension == 3
+
+    def test_dimension_without_vectors_raises(self, rng):
+        ctx = AttackContext(node=0, round_index=0, own_vector=None, honest_vectors={}, rng=rng)
+        with pytest.raises(ValueError):
+            _ = ctx.dimension
+
+    def test_honest_matrix_sorted_by_id(self, rng):
+        ctx = make_context(rng, d=2, honest_count=3)
+        mat = ctx.honest_matrix()
+        assert mat.shape == (3, 2)
+        np.testing.assert_allclose(mat[0], ctx.honest_vectors[0])
+
+    def test_honest_matrix_empty_raises(self, rng):
+        ctx = AttackContext(node=0, round_index=0, own_vector=np.zeros(2), honest_vectors={}, rng=rng)
+        with pytest.raises(ValueError):
+            ctx.honest_matrix()
+
+
+class TestSignFlip:
+    def test_flips_own_gradient(self, rng):
+        own = np.array([1.0, -2.0, 3.0])
+        out = SignFlipAttack().corrupt(make_context(rng, own=own, d=3))
+        np.testing.assert_allclose(out, -own)
+
+    def test_scale(self, rng):
+        own = np.ones(3)
+        out = SignFlipAttack(scale=5.0).corrupt(make_context(rng, own=own, d=3))
+        np.testing.assert_allclose(out, -5.0 * own)
+
+    def test_falls_back_to_honest_mean(self, rng):
+        ctx = make_context(rng, own=None, d=3)
+        out = SignFlipAttack().corrupt(ctx)
+        np.testing.assert_allclose(out, -ctx.honest_matrix().mean(axis=0))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            SignFlipAttack(scale=0.0)
+
+    def test_no_recipient_restriction(self, rng):
+        assert SignFlipAttack().recipients(make_context(rng, own=np.ones(2), d=2)) is None
+
+
+class TestCrash:
+    def test_silent_from_round_zero(self, rng):
+        assert CrashAttack().corrupt(make_context(rng, own=np.ones(2), d=2)) is None
+
+    def test_honest_before_crash_round(self, rng):
+        attack = CrashAttack(crash_round=3)
+        ctx = make_context(rng, own=np.array([1.0, 2.0]), d=2, round_index=1)
+        np.testing.assert_allclose(attack.corrupt(ctx), [1.0, 2.0])
+
+    def test_silent_after_crash_round(self, rng):
+        attack = CrashAttack(crash_round=3)
+        ctx = make_context(rng, own=np.ones(2), d=2, round_index=5)
+        assert attack.corrupt(ctx) is None
+
+    def test_invalid_crash_round(self):
+        with pytest.raises(ValueError):
+            CrashAttack(crash_round=-1)
+
+
+class TestNoiseAttacks:
+    def test_gaussian_noise_changes_vector(self, rng):
+        own = np.ones(8)
+        out = GaussianNoiseAttack(sigma=10.0).corrupt(make_context(rng, own=own, d=8))
+        assert out.shape == (8,)
+        assert np.linalg.norm(out - own) > 0.0
+
+    def test_gaussian_noise_zero_sigma_is_identity(self, rng):
+        own = np.ones(4)
+        out = GaussianNoiseAttack(sigma=0.0).corrupt(make_context(rng, own=own, d=4))
+        np.testing.assert_allclose(out, own)
+
+    def test_random_vector_within_amplitude(self, rng):
+        out = RandomVectorAttack(amplitude=2.0).corrupt(make_context(rng, d=6))
+        assert out.shape == (6,)
+        assert np.all(np.abs(out) <= 2.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GaussianNoiseAttack(sigma=-1.0)
+        with pytest.raises(ValueError):
+            RandomVectorAttack(amplitude=0.0)
+
+
+class TestMagnitudeAndOmniscient:
+    def test_magnitude_preserves_direction(self, rng):
+        own = np.array([1.0, -1.0, 2.0])
+        out = MagnitudeAttack(factor=50.0).corrupt(make_context(rng, own=own, d=3))
+        np.testing.assert_allclose(out, 50.0 * own)
+
+    def test_opposite_of_mean(self, rng):
+        ctx = make_context(rng, own=np.zeros(4), d=4)
+        out = OppositeOfMeanAttack(strength=3.0).corrupt(ctx)
+        np.testing.assert_allclose(out, -3.0 * ctx.honest_matrix().mean(axis=0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MagnitudeAttack(factor=0.0)
+        with pytest.raises(ValueError):
+            OppositeOfMeanAttack(strength=-1.0)
+
+
+class TestLabelFlip:
+    def test_flip_labels_rotation(self):
+        labels = np.array([0, 1, 9])
+        np.testing.assert_array_equal(flip_labels(labels, 10), [1, 2, 0])
+
+    def test_flip_labels_custom_offset(self):
+        labels = np.array([0, 1, 2])
+        np.testing.assert_array_equal(flip_labels(labels, 10, offset=9), [9, 0, 1])
+
+    def test_noop_offset_rejected(self):
+        with pytest.raises(ValueError):
+            flip_labels(np.array([0, 1]), 10, offset=10)
+
+    def test_attack_forwards_own_gradient(self, rng):
+        own = np.array([0.5, -0.5])
+        out = LabelFlipAttack().corrupt(make_context(rng, own=own, d=2))
+        np.testing.assert_allclose(out, own)
+
+    def test_attack_silent_without_gradient(self, rng):
+        assert LabelFlipAttack().corrupt(make_context(rng, own=None, d=2)) is None
+
+
+class TestPartitionAttack:
+    def test_even_attacker_targets_group_a(self, rng):
+        attack = PartitionAttack(group_a=[0, 1], group_b=[2, 3])
+        ctx = make_context(rng, own=None, honest_count=4, d=2, node=8)
+        recipients = attack.recipients(ctx)
+        assert recipients is not None
+        assert {0, 1}.issubset(recipients)
+        assert 2 not in recipients and 3 not in recipients
+
+    def test_odd_attacker_targets_group_b(self, rng):
+        attack = PartitionAttack(group_a=[0, 1], group_b=[2, 3])
+        ctx = make_context(rng, own=None, honest_count=4, d=2, node=9)
+        recipients = attack.recipients(ctx)
+        assert {2, 3}.issubset(recipients)
+
+    def test_echoes_group_vector(self, rng):
+        attack = PartitionAttack(group_a=[0, 1], group_b=[2, 3])
+        ctx = make_context(rng, own=None, honest_count=4, d=3, node=8)
+        out = attack.corrupt(ctx)
+        expected = np.mean([ctx.honest_vectors[0], ctx.honest_vectors[1]], axis=0)
+        np.testing.assert_allclose(out, expected)
+
+    def test_overlapping_groups_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionAttack(group_a=[0, 1], group_b=[1, 2])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionAttack(group_a=[], group_b=[1])
+
+
+class TestAttackRegistry:
+    def test_expected_attacks_registered(self):
+        expected = {
+            "sign-flip", "crash", "gaussian-noise", "random-vector",
+            "magnitude", "opposite-mean", "label-flip",
+        }
+        assert expected.issubset(set(available_attacks()))
+
+    def test_make_attack(self):
+        attack = make_attack("sign-flip", scale=2.0)
+        assert isinstance(attack, SignFlipAttack)
+        assert attack.scale == 2.0
+
+    def test_unknown_attack(self):
+        with pytest.raises(KeyError):
+            make_attack("not-an-attack")

@@ -1,0 +1,112 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    Dataset,
+    make_synthetic_cifar10,
+    make_synthetic_mnist,
+    train_test_split,
+)
+
+
+class TestDataset:
+    def test_basic_properties(self, tiny_dataset):
+        assert len(tiny_dataset) == 200
+        assert tiny_dataset.image_shape == (28, 28)
+        assert tiny_dataset.feature_dim == 784
+        assert tiny_dataset.num_classes == 10
+
+    def test_flattened_shape(self, tiny_dataset):
+        assert tiny_dataset.flattened().shape == (200, 784)
+
+    def test_subset(self, tiny_dataset):
+        sub = tiny_dataset.subset(np.arange(10))
+        assert len(sub) == 10
+        np.testing.assert_allclose(sub.images[0], tiny_dataset.images[0])
+
+    def test_class_counts_sum(self, tiny_dataset):
+        assert tiny_dataset.class_counts().sum() == len(tiny_dataset)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(images=np.zeros((5, 4, 4)), labels=np.zeros(4, dtype=int), num_classes=2)
+
+    def test_labels_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(images=np.zeros((3, 2, 2)), labels=np.array([0, 1, 5]), num_classes=3)
+
+    def test_num_classes_minimum(self):
+        with pytest.raises(ValueError):
+            Dataset(images=np.zeros((3, 2, 2)), labels=np.zeros(3, dtype=int), num_classes=1)
+
+
+class TestGenerators:
+    def test_mnist_shapes_and_range(self):
+        data = make_synthetic_mnist(50, seed=0)
+        assert data.images.shape == (50, 28, 28)
+        assert data.images.min() >= 0.0 and data.images.max() <= 1.0
+        assert data.name == "synthetic-mnist"
+
+    def test_cifar_shapes(self):
+        data = make_synthetic_cifar10(40, seed=0)
+        assert data.images.shape == (40, 32, 32, 3)
+        assert data.num_classes == 10
+
+    def test_deterministic_given_seed(self):
+        a = make_synthetic_mnist(30, seed=7)
+        b = make_synthetic_mnist(30, seed=7)
+        np.testing.assert_allclose(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_synthetic_mnist(30, seed=1)
+        b = make_synthetic_mnist(30, seed=2)
+        assert not np.allclose(a.images, b.images)
+
+    def test_roughly_balanced_classes(self):
+        data = make_synthetic_mnist(500, seed=0)
+        counts = data.class_counts()
+        assert counts.min() >= 40 and counts.max() <= 60
+
+    def test_classes_are_separable(self):
+        # A nearest-template classifier must beat chance by a wide margin,
+        # otherwise the learning experiments could not distinguish
+        # attack-induced failure from an unlearnable task.
+        data = make_synthetic_mnist(400, noise=0.15, seed=0)
+        flat = data.flattened()
+        centroids = np.stack([flat[data.labels == c].mean(axis=0) for c in range(10)])
+        dists = np.linalg.norm(flat[:, None, :] - centroids[None, :, :], axis=2)
+        preds = dists.argmin(axis=1)
+        accuracy = (preds == data.labels).mean()
+        assert accuracy > 0.8
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            make_synthetic_mnist(5, num_classes=10)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, tiny_dataset):
+        train, test = train_test_split(tiny_dataset, test_fraction=0.1, seed=0)
+        assert len(train) + len(test) == len(tiny_dataset)
+        assert len(test) == 20
+
+    def test_disjoint(self, tiny_dataset):
+        train, test = train_test_split(tiny_dataset, test_fraction=0.25, seed=0)
+        # Compare via flattened rows: no test image should appear in train.
+        train_set = {tuple(row) for row in train.flattened().round(6)}
+        overlap = sum(tuple(row) in train_set for row in test.flattened().round(6))
+        assert overlap == 0
+
+    def test_invalid_fraction(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            train_test_split(tiny_dataset, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(tiny_dataset, test_fraction=1.0)
+
+    def test_deterministic(self, tiny_dataset):
+        a_train, _ = train_test_split(tiny_dataset, seed=5)
+        b_train, _ = train_test_split(tiny_dataset, seed=5)
+        np.testing.assert_array_equal(a_train.labels, b_train.labels)

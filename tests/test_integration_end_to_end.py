@@ -1,0 +1,109 @@
+"""Integration tests tying the full stack together.
+
+Each test is a miniature version of one of the paper's experiments,
+sized to run in a few seconds: it exercises dataset generation,
+partitioning, the NumPy models, the attack, the network simulation,
+the agreement/aggregation rules and the training loops in one pass.
+"""
+
+import numpy as np
+import pytest
+
+from repro.learning.experiment import ExperimentConfig, run_experiment
+
+
+def config(**overrides):
+    base = ExperimentConfig(
+        setting="centralized",
+        dataset="mnist",
+        heterogeneity="mild",
+        aggregation="box-geom",
+        attack="sign-flip",
+        num_clients=6,
+        num_byzantine=1,
+        rounds=4,
+        num_samples=240,
+        batch_size=8,
+        learning_rate=0.15,
+        mlp_hidden=(16, 8),
+        seed=1,
+    )
+    return base.with_overrides(**overrides)
+
+
+class TestCentralizedEndToEnd:
+    @pytest.mark.parametrize("heterogeneity", ["uniform", "mild", "extreme"])
+    def test_fig1_style_run(self, heterogeneity):
+        history = run_experiment(config(heterogeneity=heterogeneity))
+        assert history.rounds == 4
+        assert history.heterogeneity == heterogeneity
+        assert all(np.isfinite(a) for a in history.accuracies())
+
+    @pytest.mark.parametrize(
+        "rule", ["md-mean", "md-geom", "box-mean", "box-geom", "krum", "multi-krum"]
+    )
+    def test_fig2a_style_rules(self, rule):
+        history = run_experiment(
+            config(heterogeneity="extreme", num_byzantine=1, aggregation=rule, rounds=2)
+        )
+        assert history.rounds == 2
+
+    def test_fig2b_style_cifarnet(self):
+        history = run_experiment(
+            config(dataset="cifar10", heterogeneity="mild", rounds=1, num_samples=240, batch_size=4)
+        )
+        assert history.rounds == 1
+
+    def test_two_byzantine_clients(self):
+        history = run_experiment(config(num_byzantine=2, byzantine_tolerance=2, rounds=2))
+        assert history.num_byzantine == 2
+
+    def test_reproducible_given_seed(self):
+        a = run_experiment(config(rounds=2))
+        b = run_experiment(config(rounds=2))
+        np.testing.assert_allclose(a.accuracies(), b.accuracies())
+
+    def test_seed_changes_trajectory(self):
+        a = run_experiment(config(rounds=2))
+        b = run_experiment(config(rounds=2, seed=9))
+        assert not np.allclose(a.accuracies(), b.accuracies())
+
+
+class TestDecentralizedEndToEnd:
+    @pytest.mark.parametrize("rule", ["md-geom", "box-geom", "md-mean", "box-mean"])
+    def test_fig3_style_run(self, rule):
+        history = run_experiment(
+            config(setting="decentralized", aggregation=rule, rounds=2)
+        )
+        assert history.rounds == 2
+        assert history.setting == "decentralized"
+        last = history.records[-1]
+        assert len(last.per_client_accuracy) == 5
+        assert last.gradient_disagreement is not None and last.gradient_disagreement >= 0.0
+
+    def test_crash_attack_decentralized(self):
+        history = run_experiment(
+            config(setting="decentralized", attack="crash", rounds=2)
+        )
+        assert history.rounds == 2
+
+    def test_honest_clients_stay_in_sync_with_box_geom(self):
+        history = run_experiment(
+            config(setting="decentralized", aggregation="box-geom", rounds=3)
+        )
+        last = history.records[-1]
+        accs = np.array(list(last.per_client_accuracy.values()))
+        # Box agreement keeps the aggregated gradients (and hence models)
+        # nearly identical across honest clients.
+        assert accs.max() - accs.min() <= 0.25
+
+
+class TestAttackZoo:
+    @pytest.mark.parametrize(
+        "attack", ["sign-flip", "crash", "gaussian-noise", "random-vector", "magnitude",
+                    "opposite-mean", "label-flip"]
+    )
+    def test_every_attack_runs_centralized(self, attack):
+        history = run_experiment(config(attack=attack, rounds=1))
+        assert history.rounds == 1
+        assert history.attack == attack

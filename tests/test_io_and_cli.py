@@ -1,0 +1,112 @@
+"""Tests for result persistence (repro.io) and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.results import (
+    history_from_dict,
+    history_to_dict,
+    load_histories,
+    save_histories,
+)
+from repro.learning.history import RoundRecord, TrainingHistory
+
+
+def make_history():
+    history = TrainingHistory(
+        setting="decentralized", aggregation="box-geom", attack="sign-flip",
+        heterogeneity="mild", num_clients=7, num_byzantine=1,
+    )
+    history.append(
+        RoundRecord(round_index=0, accuracy=0.2, loss=2.0,
+                    per_client_accuracy={0: 0.2, 1: 0.3}, gradient_disagreement=1e-3)
+    )
+    history.append(RoundRecord(round_index=1, accuracy=0.4, loss=1.5))
+    return history
+
+
+class TestHistorySerialization:
+    def test_round_trip(self):
+        history = make_history()
+        restored = history_from_dict(history_to_dict(history))
+        assert restored.setting == history.setting
+        assert restored.aggregation == history.aggregation
+        assert restored.rounds == history.rounds
+        assert restored.accuracies() == history.accuracies()
+        assert restored.records[0].per_client_accuracy == {0: 0.2, 1: 0.3}
+        assert restored.records[0].gradient_disagreement == pytest.approx(1e-3)
+        assert restored.records[1].gradient_disagreement is None
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError):
+            history_from_dict({"setting": "centralized"})
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "results" / "run.json"
+        histories = {"box-geom": make_history()}
+        written = save_histories(histories, path)
+        assert written.exists()
+        payload = json.loads(written.read_text())
+        assert "box-geom" in payload
+        loaded = load_histories(written)
+        assert loaded["box-geom"].accuracies() == histories["box-geom"].accuracies()
+
+    def test_load_rejects_non_mapping(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            load_histories(path)
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--rounds", "2"])
+        assert args.command == "run"
+        args = parser.parse_args(["compare", "--rules", "mean", "box-geom"])
+        assert args.rules == ["mean", "box-geom"]
+        args = parser.parse_args(["theory", "--rounds", "3"])
+        assert args.rounds == 3
+
+    def test_run_command(self, capsys, tmp_path):
+        save_path = tmp_path / "history.json"
+        code = main([
+            "run", "--aggregation", "box-geom", "--rounds", "2", "--clients", "6",
+            "--samples", "240", "--batch-size", "8", "--save", str(save_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final accuracy" in out
+        assert save_path.exists()
+        loaded = load_histories(save_path)
+        assert "box-geom" in loaded and loaded["box-geom"].rounds == 2
+
+    def test_run_command_no_attack(self, capsys):
+        code = main([
+            "run", "--aggregation", "mean", "--attack", "none", "--rounds", "1",
+            "--clients", "6", "--samples", "240", "--batch-size", "8",
+        ])
+        assert code == 0
+        assert "accuracy per round" in capsys.readouterr().out
+
+    def test_compare_command(self, capsys):
+        code = main([
+            "compare", "--rules", "mean", "box-geom", "--rounds", "1",
+            "--clients", "6", "--samples", "240", "--batch-size", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean" in out and "box-geom" in out and "verdict" in out
+
+    def test_theory_command(self, capsys):
+        code = main(["theory", "--rounds", "3", "--trials", "3", "--dimension", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "safe-area" in out and "box-geom" in out
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,107 @@
+"""Tests for repro.linalg.covering_ball."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.covering_ball import (
+    Ball,
+    minimum_covering_ball,
+    ritter_ball,
+)
+
+
+class TestBall:
+    def test_contains(self):
+        ball = Ball(center=np.zeros(2), radius=1.0)
+        assert ball.contains(np.array([0.5, 0.5]))
+        assert not ball.contains(np.array([2.0, 0.0]))
+
+    def test_contains_all(self, gaussian_cloud):
+        ball = minimum_covering_ball(gaussian_cloud)
+        assert ball.contains_all(gaussian_cloud)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Ball(center=np.zeros(2), radius=-1.0)
+
+
+class TestMinimumCoveringBall:
+    def test_single_point(self):
+        ball = minimum_covering_ball(np.array([[1.0, 2.0]]))
+        np.testing.assert_allclose(ball.center, [1.0, 2.0])
+        assert ball.radius == 0.0
+
+    def test_two_points(self):
+        ball = minimum_covering_ball(np.array([[0.0, 0.0], [2.0, 0.0]]))
+        np.testing.assert_allclose(ball.center, [1.0, 0.0])
+        assert ball.radius == pytest.approx(1.0)
+
+    def test_equilateral_triangle(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, np.sqrt(3) / 2]])
+        ball = minimum_covering_ball(pts)
+        # Circumradius of a unit equilateral triangle is 1/sqrt(3).
+        assert ball.radius == pytest.approx(1.0 / np.sqrt(3.0), rel=1e-6)
+
+    def test_square(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        ball = minimum_covering_ball(pts)
+        np.testing.assert_allclose(ball.center, [0.5, 0.5], atol=1e-8)
+        assert ball.radius == pytest.approx(np.sqrt(0.5), rel=1e-6)
+
+    def test_interior_points_do_not_matter(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0], [1.0, 0.1], [1.0, -0.1], [1.0, 0.0]])
+        ball = minimum_covering_ball(pts)
+        assert ball.radius == pytest.approx(1.0, rel=1e-6)
+
+    def test_covers_random_clouds(self, rng):
+        for d in (2, 3, 6):
+            pts = rng.normal(size=(30, d))
+            ball = minimum_covering_ball(pts)
+            assert ball.contains_all(pts)
+
+    def test_radius_at_most_half_diameter_times_constant(self, rng):
+        from repro.linalg.distances import diameter
+
+        pts = rng.normal(size=(25, 4))
+        ball = minimum_covering_ball(pts)
+        diam = diameter(pts)
+        # r_cov lies between diam/2 and diam/sqrt(2) in the worst case
+        # (Jung's theorem gives an even tighter constant).
+        assert diam / 2.0 - 1e-9 <= ball.radius <= diam
+
+    def test_degenerate_collinear(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]])
+        ball = minimum_covering_ball(pts)
+        np.testing.assert_allclose(ball.center, [1.5, 0.0], atol=1e-8)
+        assert ball.radius == pytest.approx(1.5, rel=1e-8)
+
+    def test_identical_points(self):
+        pts = np.tile([1.0, 2.0, 3.0], (5, 1))
+        ball = minimum_covering_ball(pts)
+        assert ball.radius == pytest.approx(0.0, abs=1e-12)
+
+    def test_large_input_falls_back_to_approximation(self, rng):
+        pts = rng.normal(size=(80, 3))
+        ball = minimum_covering_ball(pts, exact_limit=50)
+        assert ball.contains_all(pts)
+        exact = minimum_covering_ball(pts)
+        # Approximate radius can exceed the optimum, but not by much.
+        assert ball.radius <= exact.radius * 1.3 + 1e-9
+
+
+class TestRitterBall:
+    def test_covers(self, rng):
+        pts = rng.normal(size=(100, 5))
+        ball = ritter_ball(pts)
+        assert ball.contains_all(pts)
+
+    def test_not_too_loose(self, rng):
+        pts = rng.normal(size=(60, 3))
+        approx = ritter_ball(pts)
+        exact = minimum_covering_ball(pts)
+        assert approx.radius <= 1.6 * exact.radius + 1e-9
+
+    def test_single_cluster(self):
+        pts = np.tile([0.0, 0.0], (10, 1))
+        ball = ritter_ball(pts)
+        assert ball.radius == pytest.approx(0.0, abs=1e-12)

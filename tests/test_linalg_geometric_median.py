@@ -1,0 +1,170 @@
+"""Tests for repro.linalg.geometric_median (Weiszfeld, medoid)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.geometric_median import (
+    WeiszfeldResult,
+    coordinatewise_median,
+    geometric_median,
+    geometric_median_cost,
+    medoid,
+    medoid_index,
+)
+
+
+class TestGeometricMedianBasics:
+    def test_single_point(self):
+        point = np.array([[2.0, -1.0, 3.0]])
+        np.testing.assert_allclose(geometric_median(point), point[0])
+
+    def test_identical_points(self):
+        pts = np.tile(np.array([1.0, 2.0]), (6, 1))
+        np.testing.assert_allclose(geometric_median(pts), [1.0, 2.0], atol=1e-9)
+
+    def test_two_points_on_segment(self):
+        pts = np.array([[0.0, 0.0], [2.0, 0.0]])
+        med = geometric_median(pts)
+        # Any point on the segment is optimal; the returned point must be on it.
+        assert 0.0 - 1e-9 <= med[0] <= 2.0 + 1e-9
+        assert abs(med[1]) < 1e-9
+
+    def test_collinear_odd_points_is_middle(self):
+        pts = np.array([[0.0], [1.0], [10.0]])
+        np.testing.assert_allclose(geometric_median(pts), [1.0], atol=1e-6)
+
+    def test_symmetric_square_center(self):
+        pts = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        np.testing.assert_allclose(geometric_median(pts), [0.0, 0.0], atol=1e-8)
+
+    def test_majority_at_single_point(self):
+        # With a strict majority of points at one location, the geometric
+        # median is that location.
+        pts = np.vstack([np.tile([5.0, 5.0], (6, 1)), np.zeros((4, 2))])
+        np.testing.assert_allclose(geometric_median(pts), [5.0, 5.0], atol=1e-6)
+
+    def test_one_dimension_matches_median(self, rng):
+        values = rng.normal(size=(11, 1))
+        np.testing.assert_allclose(
+            geometric_median(values, tol=1e-12, max_iter=2000),
+            np.median(values, axis=0),
+            atol=1e-4,
+        )
+
+
+class TestGeometricMedianOptimality:
+    def test_cost_below_perturbations(self, gaussian_cloud):
+        med = geometric_median(gaussian_cloud, tol=1e-12, max_iter=1000)
+        base_cost = geometric_median_cost(gaussian_cloud, med)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            perturbed = med + rng.normal(0.0, 0.1, size=med.shape)
+            assert base_cost <= geometric_median_cost(gaussian_cloud, perturbed) + 1e-9
+
+    def test_cost_below_mean_and_inputs(self, gaussian_cloud):
+        med = geometric_median(gaussian_cloud, tol=1e-12, max_iter=1000)
+        cost = geometric_median_cost(gaussian_cloud, med)
+        assert cost <= geometric_median_cost(gaussian_cloud, gaussian_cloud.mean(axis=0)) + 1e-9
+        for row in gaussian_cloud:
+            assert cost <= geometric_median_cost(gaussian_cloud, row) + 1e-9
+
+    def test_robust_to_outlier(self, cloud_with_outlier):
+        med = geometric_median(cloud_with_outlier)
+        mean = cloud_with_outlier.mean(axis=0)
+        honest_center = cloud_with_outlier[:9].mean(axis=0)
+        assert np.linalg.norm(med - honest_center) < np.linalg.norm(mean - honest_center)
+
+    def test_translation_equivariance(self, gaussian_cloud):
+        shift = np.arange(gaussian_cloud.shape[1], dtype=float)
+        a = geometric_median(gaussian_cloud, tol=1e-12, max_iter=1000)
+        b = geometric_median(gaussian_cloud + shift, tol=1e-12, max_iter=1000)
+        np.testing.assert_allclose(b, a + shift, atol=1e-6)
+
+    def test_inside_bounding_box(self, gaussian_cloud):
+        med = geometric_median(gaussian_cloud)
+        assert np.all(med >= gaussian_cloud.min(axis=0) - 1e-9)
+        assert np.all(med <= gaussian_cloud.max(axis=0) + 1e-9)
+
+
+class TestGeometricMedianOptions:
+    def test_weights(self):
+        pts = np.array([[0.0, 0.0], [10.0, 0.0]])
+        med = geometric_median(pts, weights=np.array([100.0, 1.0]), tol=1e-12, max_iter=2000)
+        assert np.linalg.norm(med - pts[0]) < 1.0
+
+    def test_weights_length_mismatch(self, gaussian_cloud):
+        with pytest.raises(ValueError):
+            geometric_median(gaussian_cloud, weights=np.ones(3))
+
+    def test_negative_weights_rejected(self, gaussian_cloud):
+        with pytest.raises(ValueError):
+            geometric_median(gaussian_cloud, weights=-np.ones(gaussian_cloud.shape[0]))
+
+    def test_all_zero_weights_rejected(self, gaussian_cloud):
+        with pytest.raises(ValueError):
+            geometric_median(gaussian_cloud, weights=np.zeros(gaussian_cloud.shape[0]))
+
+    def test_return_info(self, gaussian_cloud):
+        result = geometric_median(gaussian_cloud, return_info=True)
+        assert isinstance(result, WeiszfeldResult)
+        assert result.iterations >= 1
+        assert result.cost > 0.0
+
+    def test_convergence_flag(self, gaussian_cloud):
+        result = geometric_median(gaussian_cloud, tol=1e-10, max_iter=5000, return_info=True)
+        assert result.converged
+
+    def test_max_iter_limits_iterations(self, gaussian_cloud):
+        result = geometric_median(gaussian_cloud, tol=1e-16, max_iter=3, return_info=True)
+        assert result.iterations <= 3
+
+    def test_invalid_tol(self, gaussian_cloud):
+        with pytest.raises(ValueError):
+            geometric_median(gaussian_cloud, tol=0.0)
+
+    def test_invalid_max_iter(self, gaussian_cloud):
+        with pytest.raises(ValueError):
+            geometric_median(gaussian_cloud, max_iter=0)
+
+    def test_initial_point(self, gaussian_cloud):
+        med = geometric_median(gaussian_cloud, initial=gaussian_cloud[0], tol=1e-12, max_iter=2000)
+        ref = geometric_median(gaussian_cloud, tol=1e-12, max_iter=2000)
+        np.testing.assert_allclose(med, ref, atol=1e-5)
+
+    def test_initial_dimension_mismatch(self, gaussian_cloud):
+        with pytest.raises(ValueError):
+            geometric_median(gaussian_cloud, initial=np.zeros(2))
+
+    def test_iterate_collision_with_input_point(self):
+        # Start exactly on an input point: the epsilon smoothing must keep
+        # the iteration finite and converge to the median of the cross.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        med = geometric_median(pts, initial=np.array([0.0, 0.0]))
+        np.testing.assert_allclose(med, [0.0, 0.0], atol=1e-6)
+        assert np.all(np.isfinite(med))
+
+
+class TestMedoid:
+    def test_medoid_is_input_point(self, gaussian_cloud):
+        m = medoid(gaussian_cloud)
+        assert any(np.allclose(m, row) for row in gaussian_cloud)
+
+    def test_medoid_index_minimises_cost(self, gaussian_cloud):
+        idx = medoid_index(gaussian_cloud)
+        costs = [geometric_median_cost(gaussian_cloud, row) for row in gaussian_cloud]
+        assert costs[idx] == pytest.approx(min(costs))
+
+    def test_medoid_ignores_far_outlier(self, cloud_with_outlier):
+        assert medoid_index(cloud_with_outlier) != 9
+
+
+class TestCoordinatewiseMedian:
+    def test_matches_numpy(self, gaussian_cloud):
+        np.testing.assert_allclose(
+            coordinatewise_median(gaussian_cloud), np.median(gaussian_cloud, axis=0)
+        )
+
+    def test_cost_function_weighted(self):
+        pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+        cost = geometric_median_cost(pts, np.zeros(2), weights=np.array([1.0, 2.0]))
+        assert cost == pytest.approx(10.0)
