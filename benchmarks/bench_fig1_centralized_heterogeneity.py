@@ -7,6 +7,11 @@ heterogeneity; Krum and Multi-Krum keep up on uniform/mild data but
 collapse under extreme (2-class) heterogeneity because they select only
 one / three input vectors.
 
+Each panel is driven through the ``repro.sweep`` engine: the aggregation
+rules form one grid axis, so the panel benefits from the engine's
+deterministic per-cell seeding and can be parallelised / resumed via
+``REPRO_BENCH_SWEEP_WORKERS``.
+
 Run ``pytest benchmarks/bench_fig1_centralized_heterogeneity.py
 --benchmark-only -s`` to see the regenerated accuracy series; set
 ``REPRO_BENCH_PAPER=1`` for the paper-scale configuration.
@@ -14,43 +19,52 @@ Run ``pytest benchmarks/bench_fig1_centralized_heterogeneity.py
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from _harness import (
-    FigureSpec,
     accuracy_table,
     centralized_config,
     print_report,
     summary_table,
 )
+from repro.sweep import ScenarioGrid, SweepRunner, rows_to_histories
 
 ALGORITHMS = ("md-mean", "md-geom", "box-mean", "box-geom", "krum", "multi-krum")
 HETEROGENEITIES = ("uniform", "mild", "extreme")
 
+#: Worker processes for the per-panel sweep (1 = in-process).
+SWEEP_WORKERS = int(os.environ.get("REPRO_BENCH_SWEEP_WORKERS", "1"))
 
-def _figure(heterogeneity: str) -> FigureSpec:
-    configs = {
-        name: centralized_config(aggregation=name, heterogeneity=heterogeneity)
-        for name in ALGORITHMS
-    }
-    return FigureSpec(
-        figure_id=f"FIG1[{heterogeneity}]",
-        description=(
-            "Centralized, MLP, synthetic MNIST, f=1 sign flip, "
-            f"{heterogeneity} heterogeneity"
-        ),
-        configs=configs,
-    )
+
+def _panel_grid(heterogeneity: str) -> ScenarioGrid:
+    base = centralized_config(heterogeneity=heterogeneity)
+    # derive_seeds=False keeps the panel a *paired* comparison: every
+    # rule trains on the identical dataset, partition and initial
+    # weights (seed 7), exactly as the pre-sweep harness did.
+    return ScenarioGrid(base, {"aggregation": list(ALGORITHMS)}, derive_seeds=False)
+
+
+def _run_panel(grid: ScenarioGrid):
+    rows = SweepRunner(grid, workers=SWEEP_WORKERS).run()
+    histories = rows_to_histories(rows)
+    # Key the report by the rule name alone (the single grid axis).
+    return {row["axes"]["aggregation"]: histories[row["cell_id"]] for row in rows}
 
 
 @pytest.mark.parametrize("heterogeneity", HETEROGENEITIES)
 def test_fig1_centralized_heterogeneity(benchmark, heterogeneity):
     """Regenerate one panel of Figure 1 and report the accuracy series."""
-    spec = _figure(heterogeneity)
-    histories = benchmark.pedantic(spec.run, rounds=1, iterations=1)
+    grid = _panel_grid(heterogeneity)
+    histories = benchmark.pedantic(_run_panel, args=(grid,), rounds=1, iterations=1)
     print_report(
-        spec.figure_id,
-        spec.description,
+        f"FIG1[{heterogeneity}]",
+        (
+            "Centralized, MLP, synthetic MNIST, f=1 sign flip, "
+            f"{heterogeneity} heterogeneity (sweep engine, "
+            f"{SWEEP_WORKERS} worker(s))"
+        ),
         accuracy_table(histories, every=max(1, len(next(iter(histories.values())).records) // 6))
         + "\n\n"
         + summary_table(histories),

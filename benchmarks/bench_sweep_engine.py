@@ -1,0 +1,154 @@
+"""Micro-benchmark of the scenario-sweep engine.
+
+Records the two numbers future PRs should track:
+
+- **cells/sec** — throughput of :class:`repro.sweep.SweepRunner` on a
+  small but representative grid (heterogeneity x distance-based rules),
+- **distance-cache hit rate** — fraction of pairwise-distance-matrix
+  requests served by the shared per-round
+  :class:`~repro.aggregation.context.AggregationContext` when one
+  received stack is evaluated by every distance-based rule at once
+  (:func:`repro.aggregation.aggregate_all`), with the matching
+  shared-vs-uncached wall-clock speedup.
+
+Run ``pytest benchmarks/bench_sweep_engine.py --benchmark-only -s``.
+Set ``REPRO_BENCH_SWEEP_WORKERS`` to benchmark the process pool (the
+cache counters are per-process, so the hit rate is only reported for the
+in-process run).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from _harness import print_report, scaled
+from repro.aggregation import aggregate_all, make_rule
+from repro.aggregation.context import cache_hit_rate, cache_stats, reset_cache_stats
+from repro.learning.experiment import ExperimentConfig
+from repro.sweep import ScenarioGrid, SweepRunner
+
+SWEEP_WORKERS = int(os.environ.get("REPRO_BENCH_SWEEP_WORKERS", "1"))
+
+#: Rules whose aggregation is dominated by pairwise-distance work.
+DISTANCE_RULES = ("krum", "multi-krum", "medoid", "md-mean")
+
+
+def _engine_grid() -> ScenarioGrid:
+    base = ExperimentConfig(
+        setting="centralized",
+        dataset="mnist",
+        heterogeneity="mild",
+        aggregation=DISTANCE_RULES[0],
+        attack="sign-flip",
+        num_clients=scaled(6, 10),
+        num_byzantine=1,
+        rounds=scaled(4, 20),
+        num_samples=scaled(120, 1200),
+        batch_size=16,
+        learning_rate=0.05,
+        mlp_hidden=scaled((16, 8), (64, 32)),
+        seed=11,
+    )
+    return ScenarioGrid(
+        base,
+        {
+            "heterogeneity": ["uniform", "extreme"],
+            "aggregation": list(DISTANCE_RULES),
+        },
+    )
+
+
+def test_sweep_engine_throughput(benchmark):
+    """Measure sweep throughput and the shared distance-cache hit rate."""
+    grid = _engine_grid()
+
+    def run_sweep():
+        reset_cache_stats()
+        start = time.perf_counter()
+        rows = SweepRunner(grid, workers=SWEEP_WORKERS).run()
+        elapsed = time.perf_counter() - start
+        return rows, elapsed, cache_stats(), cache_hit_rate()
+
+    rows, elapsed, stats, hit_rate = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    cells_per_sec = len(rows) / elapsed if elapsed > 0 else float("inf")
+    lines = [
+        f"cells:                 {len(rows)}",
+        f"workers:               {SWEEP_WORKERS}",
+        f"elapsed:               {elapsed:.2f} s",
+        f"cells/sec:             {cells_per_sec:.2f}",
+    ]
+    if SWEEP_WORKERS == 1:
+        lines += [
+            f"distance-cache hits:   {stats['hits']}",
+            f"distance-cache misses: {stats['misses']}",
+            f"distance-cache hit rate: {hit_rate:.1%}",
+        ]
+    else:
+        lines.append("distance-cache stats: n/a (per-process counters)")
+    print_report(
+        "SWEEP-ENGINE",
+        "SweepRunner throughput + AggregationContext distance-cache hit rate",
+        "\n".join(lines),
+    )
+    assert len(rows) == len(grid)
+    if SWEEP_WORKERS == 1:
+        # Every cell ran distance-based rules through per-round contexts,
+        # so the shared cache must have been exercised.
+        assert stats["hits"] + stats["misses"] > 0
+
+
+def test_shared_context_round_evaluation(benchmark):
+    """Hit rate + speedup of evaluating all distance rules on one stack.
+
+    This is the per-round sharing the sweep motivation describes: one
+    received gradient stack, every distance-based rule.  The shared
+    context computes the pairwise matrix once; the uncached path
+    recomputes it per rule.
+    """
+    rng = np.random.default_rng(5)
+    m, d, rounds = scaled((10, 2_000, 20), (10, 20_000, 50))
+    stacks = [rng.normal(size=(m, d)) for _ in range(rounds)]
+    rules = {
+        name: make_rule(name, n=m, t=2) for name in DISTANCE_RULES
+    }
+
+    def evaluate(shared: bool):
+        reset_cache_stats()
+        start = time.perf_counter()
+        for stack in stacks:
+            if shared:
+                aggregate_all(rules, stack)
+            else:
+                for rule in rules.values():
+                    rule.aggregate(stack)
+        return time.perf_counter() - start, cache_stats(), cache_hit_rate()
+
+    evaluate(True)  # warm-up (BLAS init, imports)
+    uncached_s, _, _ = evaluate(False)
+    shared_s, stats, hit_rate = benchmark.pedantic(
+        evaluate, args=(True,), rounds=1, iterations=1
+    )
+    speedup = uncached_s / shared_s if shared_s > 0 else float("inf")
+    print_report(
+        "SWEEP-CTX",
+        "aggregate_all shared-context vs per-rule recomputation "
+        f"({rounds} rounds, m={m}, d={d})",
+        "\n".join(
+            [
+                f"uncached:              {uncached_s:.3f} s",
+                f"shared context:        {shared_s:.3f} s",
+                f"speedup:               {speedup:.2f}x",
+                f"distance-cache hits:   {stats['hits']}",
+                f"distance-cache misses: {stats['misses']}",
+                f"distance-cache hit rate: {hit_rate:.1%}",
+            ]
+        ),
+    )
+    # One miss per round (the first consumer), hits for every other rule.
+    assert stats["misses"] == rounds
+    assert stats["hits"] >= rounds * (len(rules) - 1)

@@ -6,14 +6,20 @@ pair and prints the final-accuracy matrix.  This goes beyond the paper's
 figures (which focus on the sign flip) and corresponds to the ablation
 benchmark ``benchmarks/bench_ablation_attacks.py``.
 
-Run with:  python examples/attack_zoo.py [--rounds 15]
+The (attack x rule) grid is expanded and executed by the ``repro.sweep``
+engine, so the zoo can run on several worker processes and — when
+``--output`` is given — stream its rows to JSONL and resume after an
+interrupt instead of restarting.
+
+Run with:  python examples/attack_zoo.py [--rounds 15] [--workers 2]
 """
 
 from __future__ import annotations
 
 import argparse
 
-from repro.learning.experiment import ExperimentConfig, run_centralized_experiment
+from repro.learning.experiment import ExperimentConfig
+from repro.sweep import ScenarioGrid, SweepRunner
 
 ATTACKS = ("sign-flip", "crash", "random-vector", "magnitude", "opposite-mean", "label-flip")
 RULES = ("mean", "geomedian", "krum", "md-geom", "box-mean", "box-geom")
@@ -25,12 +31,46 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--clients", type=int, default=8)
     parser.add_argument("--samples", type=int, default=640)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep (1 = in-process)")
+    parser.add_argument("--output", type=str, default=None,
+                        help="stream sweep rows to this JSONL file (enables resume)")
     return parser.parse_args()
 
 
 def main() -> None:
     args = parse_args()
-    print(f"Final accuracy after {args.rounds} rounds, {args.clients} clients, 1 Byzantine client\n")
+    base = ExperimentConfig(
+        setting="centralized",
+        dataset="mnist",
+        heterogeneity="mild",
+        aggregation=RULES[0],
+        attack=ATTACKS[0],
+        num_clients=args.clients,
+        num_byzantine=1,
+        rounds=args.rounds,
+        num_samples=args.samples,
+        batch_size=16,
+        learning_rate=0.05,
+        mlp_hidden=(32, 16),
+        seed=args.seed,
+    )
+    # derive_seeds=False: every (attack, rule) cell shares --seed, so the
+    # matrix is a paired comparison on identical data and initial weights.
+    grid = ScenarioGrid(
+        base,
+        {"attack": list(ATTACKS), "aggregation": list(RULES)},
+        derive_seeds=False,
+    )
+    rows = SweepRunner(grid, workers=args.workers, output_path=args.output).run()
+    final = {
+        (row["axes"]["attack"], row["axes"]["aggregation"]):
+            row["summary"]["final_accuracy"]
+        for row in rows
+    }
+
+    print(f"Final accuracy after {args.rounds} rounds, {args.clients} clients, "
+          f"1 Byzantine client ({len(rows)} sweep cells)\n")
     corner = "attack / rule"
     header = f"{corner:<15s}" + "".join(f"{rule:>11s}" for rule in RULES)
     print(header)
@@ -38,27 +78,13 @@ def main() -> None:
     for attack in ATTACKS:
         row = [f"{attack:<15s}"]
         for rule in RULES:
-            config = ExperimentConfig(
-                setting="centralized",
-                dataset="mnist",
-                heterogeneity="mild",
-                aggregation=rule,
-                attack=attack,
-                num_clients=args.clients,
-                num_byzantine=1,
-                rounds=args.rounds,
-                num_samples=args.samples,
-                batch_size=16,
-                learning_rate=0.05,
-                mlp_hidden=(32, 16),
-                seed=args.seed,
-            )
-            history = run_centralized_experiment(config)
-            row.append(f"{history.final_accuracy():>11.3f}")
+            row.append(f"{final[(attack, rule)]:>11.3f}")
         print("".join(row))
     print("\nReading guide: the plain mean should suffer most under magnitude /")
     print("opposite-mean attacks, while the hyperbox and minimum-diameter rules")
     print("stay close to their attack-free accuracy.")
+    if args.output:
+        print(f"Rows streamed to {args.output}; rerun with the same --output to resume.")
 
 
 if __name__ == "__main__":

@@ -20,7 +20,13 @@ The multi-round agreement versions of the BOX/MD algorithms live in
 :mod:`repro.agreement`.
 """
 
-from repro.aggregation.base import AggregationRule
+from repro.aggregation.base import AggregationRule, aggregate_all
+from repro.aggregation.context import (
+    AggregationContext,
+    cache_hit_rate,
+    cache_stats,
+    reset_cache_stats,
+)
 from repro.aggregation.mean import CoordinatewiseMedian, Mean, TrimmedMean
 from repro.aggregation.geometric_median import GeometricMedian
 from repro.aggregation.medoid import Medoid
@@ -36,6 +42,7 @@ from repro.aggregation.hyperbox_rules import (
 from repro.aggregation.registry import available_rules, make_rule, register_rule
 
 __all__ = [
+    "AggregationContext",
     "AggregationRule",
     "CoordinatewiseMedian",
     "GeometricMedian",
@@ -48,7 +55,11 @@ __all__ = [
     "MinimumDiameterMean",
     "MultiKrum",
     "TrimmedMean",
+    "aggregate_all",
     "available_rules",
+    "cache_hit_rate",
+    "cache_stats",
     "make_rule",
     "register_rule",
+    "reset_cache_stats",
 ]

@@ -3,19 +3,20 @@
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Dict, Iterable, Mapping, Optional, Union
 
 import numpy as np
 
-from repro.utils.validation import ensure_matrix
+from repro.aggregation.context import AggregationContext
 
 
 class AggregationRule(abc.ABC):
     """Maps a stack of received vectors to a single aggregate vector.
 
     Sub-classes implement :meth:`_aggregate` on a validated ``(m, d)``
-    matrix; the public :meth:`aggregate` handles validation, empty-input
-    errors and the trivial single-vector case uniformly.
+    matrix plus its :class:`AggregationContext`; the public
+    :meth:`aggregate` handles validation, empty-input errors and the
+    trivial single-vector case uniformly.
 
     Parameters
     ----------
@@ -42,12 +43,37 @@ class AggregationRule(abc.ABC):
         self.t = int(t)
 
     # -- public API ---------------------------------------------------------
-    def aggregate(self, vectors: np.ndarray) -> np.ndarray:
-        """Aggregate an ``(m, d)`` stack of vectors into a ``(d,)`` vector."""
-        mat = ensure_matrix(vectors, name="vectors", min_rows=1)
+    def aggregate(
+        self,
+        vectors: Optional[np.ndarray] = None,
+        *,
+        context: Optional[AggregationContext] = None,
+    ) -> np.ndarray:
+        """Aggregate an ``(m, d)`` stack of vectors into a ``(d,)`` vector.
+
+        Either ``vectors`` or a pre-built ``context`` must be given.  A
+        shared context lets several rules (or several passes of one
+        rule) reuse one pairwise-distance matrix per round; results are
+        bitwise-identical to the context-free path.  When both are
+        given, ``context`` must wrap the same stack.
+        """
+        if context is None:
+            if vectors is None:
+                raise ValueError("aggregate() needs vectors or a context")
+            context = AggregationContext(vectors)
+        elif vectors is not None:
+            shape = np.shape(vectors)  # no copy for array inputs
+            if len(shape) == 1:
+                shape = (1, shape[0])
+            if shape != context.matrix.shape:
+                raise ValueError(
+                    f"context wraps a {context.matrix.shape} stack but "
+                    f"vectors have shape {shape}"
+                )
+        mat = context.matrix
         if mat.shape[0] == 1:
             return mat[0].copy()
-        return np.asarray(self._aggregate(mat), dtype=np.float64).reshape(-1)
+        return np.asarray(self._aggregate(mat, context), dtype=np.float64).reshape(-1)
 
     def __call__(self, vectors: np.ndarray) -> np.ndarray:
         return self.aggregate(vectors)
@@ -75,6 +101,50 @@ class AggregationRule(abc.ABC):
 
     # -- to be provided by sub-classes ---------------------------------------
     @abc.abstractmethod
-    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
-        """Aggregate a validated ``(m >= 2, d)`` matrix."""
+    def _aggregate(
+        self, vectors: np.ndarray, context: AggregationContext
+    ) -> np.ndarray:
+        """Aggregate a validated ``(m >= 2, d)`` matrix.
+
+        ``context`` wraps the same matrix; distance-based rules should
+        read :attr:`AggregationContext.sq_distances` /
+        :attr:`AggregationContext.distances` instead of recomputing.
+        """
         raise NotImplementedError
+
+
+def aggregate_all(
+    rules: Union[Mapping[str, AggregationRule], Iterable[AggregationRule]],
+    vectors: np.ndarray,
+    *,
+    context: Optional[AggregationContext] = None,
+) -> Dict[str, np.ndarray]:
+    """Aggregate one received stack with several rules, sharing one context.
+
+    This is the batched per-round evaluation path: Krum/Multi-Krum, the
+    minimum-diameter rules and the medoid all reduce to operations on
+    the same pairwise-distance matrix, so evaluating them against a
+    shared :class:`AggregationContext` computes that matrix once instead
+    of once per rule.  Results are bitwise-identical to calling each
+    rule's :meth:`~AggregationRule.aggregate` on its own.
+
+    ``rules`` is either a ``{label: rule}`` mapping or an iterable of
+    rules (labelled by their ``name`` attribute, which must then be
+    unique).  Returns ``{label: aggregate_vector}``.
+    """
+    if isinstance(rules, Mapping):
+        labelled = dict(rules)
+    else:
+        labelled = {}
+        for rule in rules:
+            label = getattr(rule, "name", type(rule).__name__)
+            if label in labelled:
+                raise ValueError(
+                    f"duplicate rule label {label!r}; pass a mapping to disambiguate"
+                )
+            labelled[label] = rule
+    if context is None:
+        context = AggregationContext(vectors)
+    return {
+        label: rule.aggregate(context=context) for label, rule in labelled.items()
+    }

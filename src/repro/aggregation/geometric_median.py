@@ -7,6 +7,7 @@ from typing import Optional
 import numpy as np
 
 from repro.aggregation.base import AggregationRule
+from repro.aggregation.context import AggregationContext
 from repro.linalg.geometric_median import geometric_median
 
 
@@ -42,5 +43,5 @@ class GeometricMedian(AggregationRule):
         self.tol = float(tol)
         self.max_iter = int(max_iter)
 
-    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
+    def _aggregate(self, vectors: np.ndarray, context: AggregationContext) -> np.ndarray:
         return geometric_median(vectors, tol=self.tol, max_iter=self.max_iter)

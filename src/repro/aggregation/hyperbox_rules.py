@@ -23,6 +23,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.aggregation.base import AggregationRule
+from repro.aggregation.context import AggregationContext
 from repro.linalg.geometric_median import geometric_median
 from repro.linalg.hyperbox import Hyperbox, bounding_hyperbox, trimmed_hyperbox
 from repro.linalg.subsets import subset_aggregates
@@ -87,7 +88,7 @@ class _HyperboxRuleBase(AggregationRule):
             return Hyperbox(lower=lower, upper=upper)
         return inter
 
-    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
+    def _aggregate(self, vectors: np.ndarray, context: AggregationContext) -> np.ndarray:
         return self.decision_hyperbox(vectors).midpoint()
 
 

@@ -18,18 +18,35 @@ from typing import Optional
 import numpy as np
 
 from repro.aggregation.base import AggregationRule
-from repro.linalg.distances import pairwise_sq_distances
+from repro.aggregation.context import AggregationContext
+from repro.linalg.distances import resolve_pairwise_matrix
 
 
 def krum_scores(
-    vectors: np.ndarray, n: int, t: int, *, neighbourhood: Optional[int] = None
+    vectors: np.ndarray,
+    n: int,
+    t: int,
+    *,
+    neighbourhood: Optional[int] = None,
+    sq: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Krum score of every received vector.
 
     The score of vector ``v_j`` is the sum of squared distances to its
     ``k`` nearest other vectors, where ``k`` defaults to
-    ``min(n - t - 1, m - 1)``.
+    ``min(n - t - 1, m - 1)``.  ``sq`` optionally supplies the
+    precomputed ``(m, m)`` squared-distance matrix (e.g. from a shared
+    :class:`~repro.aggregation.context.AggregationContext`).
     """
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if t < 0:
+        raise ValueError(f"t must be non-negative, got {t}")
+    if t >= n:
+        # Clamping the default neighbourhood would silently hide a
+        # nonsensical resilience configuration; fail the same way the
+        # AggregationRule constructor does.
+        raise ValueError(f"t must be smaller than n, got n={n}, t={t}")
     m = vectors.shape[0]
     if m < 2:
         return np.zeros(m)
@@ -38,7 +55,7 @@ def krum_scores(
     else:
         k = int(neighbourhood)
     k = max(1, min(k, m - 1))
-    sq = pairwise_sq_distances(vectors)
+    sq = resolve_pairwise_matrix(vectors, sq, squared=True)
     # Exclude self-distance (the zero diagonal) by sorting each row and
     # dropping the first entry.
     ordered = np.sort(sq, axis=1)[:, 1 : k + 1]
@@ -62,18 +79,21 @@ class Krum(AggregationRule):
             raise ValueError("neighbourhood must be positive")
         self.neighbourhood = neighbourhood
 
-    def selected_index(self, vectors: np.ndarray) -> int:
+    def selected_index(
+        self, vectors: np.ndarray, *, context: Optional[AggregationContext] = None
+    ) -> int:
         """Index of the vector Krum selects (ties broken by lowest index)."""
         scores = krum_scores(
             vectors,
             self.effective_n(vectors.shape[0]),
             self.t,
             neighbourhood=self.neighbourhood,
+            sq=None if context is None else context.sq_distances,
         )
         return int(np.argmin(scores))
 
-    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
-        return vectors[self.selected_index(vectors)].copy()
+    def _aggregate(self, vectors: np.ndarray, context: AggregationContext) -> np.ndarray:
+        return vectors[self.selected_index(vectors, context=context)].copy()
 
 
 class MultiKrum(AggregationRule):
@@ -101,18 +121,21 @@ class MultiKrum(AggregationRule):
         self.q = int(q)
         self.neighbourhood = neighbourhood
 
-    def selected_indices(self, vectors: np.ndarray) -> np.ndarray:
+    def selected_indices(
+        self, vectors: np.ndarray, *, context: Optional[AggregationContext] = None
+    ) -> np.ndarray:
         """Indices of the ``q`` best vectors, lowest score first."""
         scores = krum_scores(
             vectors,
             self.effective_n(vectors.shape[0]),
             self.t,
             neighbourhood=self.neighbourhood,
+            sq=None if context is None else context.sq_distances,
         )
         q = min(self.q, vectors.shape[0])
         # argsort is stable, so equal scores keep index order.
         return np.argsort(scores, kind="stable")[:q]
 
-    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
-        picks = self.selected_indices(vectors)
+    def _aggregate(self, vectors: np.ndarray, context: AggregationContext) -> np.ndarray:
+        picks = self.selected_indices(vectors, context=context)
         return vectors[picks].mean(axis=0)

@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.aggregation.base import AggregationRule
+from repro.aggregation.context import AggregationContext
 from repro.linalg.geometric_median import geometric_median
 from repro.linalg.subsets import minimum_diameter_subset, minimum_diameter_subsets
 
@@ -65,15 +66,21 @@ class _MinimumDiameterBase(AggregationRule):
     def _subset_aggregate(self, rows: np.ndarray) -> np.ndarray:
         raise NotImplementedError
 
-    def minimum_diameter_set(self, vectors: np.ndarray) -> Tuple[Tuple[int, ...], float]:
+    def minimum_diameter_set(
+        self,
+        vectors: np.ndarray,
+        *,
+        context: Optional[AggregationContext] = None,
+    ) -> Tuple[Tuple[int, ...], float]:
         """Indices of the selected minimum-diameter subset and its diameter."""
         size = self.honest_subset_size(vectors.shape[0])
+        dist = None if context is None else context.distances
         if self.tie_break == "first":
             return minimum_diameter_subset(
-                vectors, size, max_subsets=self.max_subsets, rng=self._rng
+                vectors, size, max_subsets=self.max_subsets, rng=self._rng, dist=dist
             )
         tied, diam = minimum_diameter_subsets(
-            vectors, size, max_subsets=self.max_subsets, rng=self._rng
+            vectors, size, max_subsets=self.max_subsets, rng=self._rng, dist=dist
         )
         reference = vectors.mean(axis=0)
         best_idx = tied[0]
@@ -86,8 +93,8 @@ class _MinimumDiameterBase(AggregationRule):
                 best_idx = idx
         return best_idx, diam
 
-    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
-        idx, _ = self.minimum_diameter_set(vectors)
+    def _aggregate(self, vectors: np.ndarray, context: AggregationContext) -> np.ndarray:
+        idx, _ = self.minimum_diameter_set(vectors, context=context)
         return self._subset_aggregate(vectors[list(idx)])
 
 

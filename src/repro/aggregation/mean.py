@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import AggregationRule
+from repro.aggregation.context import AggregationContext
 
 
 class Mean(AggregationRule):
@@ -16,7 +17,7 @@ class Mean(AggregationRule):
 
     name = "mean"
 
-    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
+    def _aggregate(self, vectors: np.ndarray, context: AggregationContext) -> np.ndarray:
         return vectors.mean(axis=0)
 
 
@@ -29,7 +30,7 @@ class CoordinatewiseMedian(AggregationRule):
 
     name = "cw-median"
 
-    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
+    def _aggregate(self, vectors: np.ndarray, context: AggregationContext) -> np.ndarray:
         return np.median(vectors, axis=0)
 
 
@@ -63,7 +64,7 @@ class TrimmedMean(AggregationRule):
             )
         return trim
 
-    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
+    def _aggregate(self, vectors: np.ndarray, context: AggregationContext) -> np.ndarray:
         m = vectors.shape[0]
         trim = self.trim_level(m)
         if trim == 0:

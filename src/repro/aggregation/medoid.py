@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aggregation.base import AggregationRule
-from repro.linalg.geometric_median import medoid
+from repro.aggregation.context import AggregationContext
+from repro.linalg.geometric_median import medoid_index
 
 
 class Medoid(AggregationRule):
@@ -20,5 +21,5 @@ class Medoid(AggregationRule):
 
     name = "medoid"
 
-    def _aggregate(self, vectors: np.ndarray) -> np.ndarray:
-        return medoid(vectors)
+    def _aggregate(self, vectors: np.ndarray, context: AggregationContext) -> np.ndarray:
+        return vectors[medoid_index(vectors, dist=context.distances)].copy()

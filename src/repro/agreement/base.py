@@ -9,6 +9,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.aggregation.base import AggregationRule
+from repro.aggregation.context import AggregationContext
 from repro.byzantine.base import AttackContext, GradientAttack
 from repro.linalg.distances import diameter
 from repro.network.reliable_broadcast import BroadcastPlan
@@ -65,12 +66,15 @@ class AggregationAgreement(AgreementAlgorithm):
         self.name = getattr(rule, "name", self.name)
 
     def update(self, received: np.ndarray) -> np.ndarray:
-        mat = ensure_matrix(received, name="received")
-        if mat.shape[0] < self.minimum_messages():
+        # The context validates the stack; it also shares the pairwise-
+        # distance matrix between every distance-based step of the rule.
+        context = AggregationContext(received)
+        if context.num_vectors < self.minimum_messages():
             raise ValueError(
-                f"received only {mat.shape[0]} messages, need at least {self.minimum_messages()}"
+                f"received only {context.num_vectors} messages, "
+                f"need at least {self.minimum_messages()}"
             )
-        return self.rule.aggregate(mat)
+        return self.rule.aggregate(context=context)
 
 
 @dataclass

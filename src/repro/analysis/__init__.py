@@ -14,7 +14,11 @@ from repro.analysis.traces import (
     relative_gap,
     summarize_history,
 )
-from repro.analysis.reporting import comparison_table, histories_to_records
+from repro.analysis.reporting import (
+    comparison_table,
+    histories_to_records,
+    sweep_summary_table,
+)
 
 __all__ = [
     "TraceSummary",
@@ -24,4 +28,5 @@ __all__ = [
     "moving_average",
     "relative_gap",
     "summarize_history",
+    "sweep_summary_table",
 ]

@@ -7,7 +7,7 @@ the benchmark harness prints and EXPERIMENTS.md quotes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Sequence
 
 from repro.analysis.traces import summarize_history
 from repro.learning.history import TrainingHistory
@@ -51,5 +51,45 @@ def comparison_table(
             f"{str(record['label']):<14s} {record['final_accuracy']:>7.3f} "
             f"{record['best_accuracy']:>7.3f} {record['smoothed_final_accuracy']:>9.3f} "
             f"{str(record['classification']):>12s}"
+        )
+    return "\n".join(lines)
+
+
+def sweep_summary_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Plain-text summary of a sweep: one row per scenario cell.
+
+    ``rows`` are the JSONL rows produced by
+    :class:`repro.sweep.runner.SweepRunner` (or a subset of them); the
+    axis columns come from each row's ``"axes"`` mapping, followed by
+    the final/best accuracy of the cell.
+    """
+    if not rows:
+        return "(no sweep rows)"
+    # Column order follows the grid's axis order.  The cell id encodes
+    # it ("het=a/rule=b"); the axes mapping does not survive a JSONL
+    # round trip order-intact (rows are dumped with sorted keys).
+    cell_id = rows[0].get("cell_id")
+    if isinstance(cell_id, str) and "=" in cell_id:
+        axis_names = [part.split("=", 1)[0] for part in cell_id.split("/")]
+    else:
+        axis_names = list(rows[0].get("axes", {}))
+    widths = {
+        name: max(len(name), *(len(str(row["axes"].get(name, ""))) for row in rows))
+        for name in axis_names
+    }
+    header = " ".join(f"{name:<{widths[name]}s}" for name in axis_names)
+    header += f" {'final':>7s} {'best':>7s} {'rounds':>7s}"
+    lines = [header, "-" * len(header)]
+    from repro.io.results import metric_from_json
+
+    for row in sorted(rows, key=lambda r: r.get("index", 0)):
+        summary = row.get("summary", {})
+        cols = " ".join(
+            f"{str(row['axes'].get(name, '')):<{widths[name]}s}" for name in axis_names
+        )
+        lines.append(
+            f"{cols} {metric_from_json(summary.get('final_accuracy')):>7.3f} "
+            f"{metric_from_json(summary.get('best_accuracy')):>7.3f} "
+            f"{int(summary.get('rounds', 0)):>7d}"
         )
     return "\n".join(lines)

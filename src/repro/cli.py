@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Three sub-commands cover the common workflows:
+Four sub-commands cover the common workflows:
 
 - ``run`` — run one collaborative-learning experiment described by flags
   (setting, aggregation rule, attack, heterogeneity, ...), print the
@@ -8,6 +8,9 @@ Three sub-commands cover the common workflows:
 - ``compare`` — run the same experiment for several aggregation rules
   and print the comparison table (final / best / smoothed accuracy and
   the converging / diverging verdict).
+- ``sweep`` — expand a JSON scenario-grid spec into experiment cells and
+  run them on a worker pool, streaming JSONL rows with resume support
+  (see ``docs/sweeps.md``).
 - ``theory`` — print the Section 4 report: measured approximation ratios
   on the adversarial constructions and the BOX-GEOM convergence trace.
 
@@ -17,20 +20,23 @@ Examples
 
     python -m repro.cli run --setting centralized --aggregation box-geom --rounds 20
     python -m repro.cli compare --setting decentralized --rules md-geom box-geom --rounds 10
+    python -m repro.cli sweep spec.json --output results.jsonl --workers 4
     python -m repro.cli theory
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.aggregation.registry import available_rules
 from repro.agreement.registry import available_algorithms
-from repro.analysis.reporting import comparison_table
+from repro.analysis.reporting import comparison_table, sweep_summary_table
 from repro.byzantine.registry import available_attacks
-from repro.io.results import save_histories
+from repro.io.results import metric_from_json, save_histories
 from repro.learning.experiment import ExperimentConfig, run_experiment
 from repro.learning.history import TrainingHistory
 
@@ -95,6 +101,60 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import ScenarioGrid, SweepRunner
+
+    spec_path = Path(args.spec)
+    try:
+        spec = json.loads(spec_path.read_text())
+    except FileNotFoundError:
+        print(f"sweep spec not found: {spec_path}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"sweep spec is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    try:
+        grid = ScenarioGrid.from_spec(spec)
+        total = len(grid)
+        print(f"sweep: {total} cells over axes {', '.join(grid.axis_names())}")
+        if args.dry_run:
+            # A real run validates inside SweepRunner.run(); doing it
+            # here too would expand the grid twice.
+            for cell in grid.validate():
+                print(f"  [{cell.index:>3d}] {cell.cell_id} (seed={cell.config.seed})")
+            return 0
+    except ValueError as exc:
+        print(f"invalid sweep spec: {exc}", file=sys.stderr)
+        return 2
+
+    def progress(cell, row, reused):
+        tag = "cached" if reused else "done"
+        # Resumed rows come back through JSON, where non-finite metrics
+        # are sanitised to null.
+        acc = metric_from_json(row["summary"]["final_accuracy"])
+        print(f"  [{cell.index + 1:>3d}/{total}] {tag:<6s} {cell.cell_id} "
+              f"final_acc={acc:.3f}")
+
+    try:
+        runner = SweepRunner(
+            grid,
+            workers=args.workers,
+            output_path=args.output,
+            resume=not args.no_resume,
+            on_cell=progress,
+        )
+        rows = runner.run()
+    except ValueError as exc:
+        # Bad --workers, or a corrupt (non-interrupt-shaped) resume file.
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    print()
+    print(sweep_summary_table(rows))
+    if args.output:
+        print(f"\nrows streamed to {args.output}")
+    return 0
+
+
 def _cmd_theory(args: argparse.Namespace) -> int:
     from repro.theory.bounds import (
         hyperbox_approximation_ratio_experiment,
@@ -145,6 +205,20 @@ def build_parser() -> argparse.ArgumentParser:
              f"decentralized: {', '.join(available_algorithms())})",
     )
     compare_parser.set_defaults(func=_cmd_compare)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a scenario grid described by a JSON spec file"
+    )
+    sweep_parser.add_argument("spec", help="path to the sweep spec JSON (base + axes)")
+    sweep_parser.add_argument("--output", type=str, default=None,
+                              help="stream result rows to this JSONL file (enables resume)")
+    sweep_parser.add_argument("--workers", type=int, default=1,
+                              help="worker processes (1 = run in-process)")
+    sweep_parser.add_argument("--no-resume", action="store_true",
+                              help="re-run every cell, overwriting the existing output file")
+    sweep_parser.add_argument("--dry-run", action="store_true",
+                              help="list the expanded cells without running them")
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     theory_parser = subparsers.add_parser("theory", help="print the Section 4 theory report")
     theory_parser.add_argument("--epsilon", type=float, default=1e-4)

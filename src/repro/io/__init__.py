@@ -1,15 +1,29 @@
-"""Result persistence: save and reload experiment histories as JSON."""
+"""Result persistence: JSON histories and JSONL sweep streams."""
 
+from repro.io.jsonl import (
+    append_jsonl,
+    dump_row,
+    read_jsonl,
+    truncate_partial_tail,
+    write_jsonl,
+)
 from repro.io.results import (
     history_from_dict,
     history_to_dict,
     load_histories,
+    metric_from_json,
     save_histories,
 )
 
 __all__ = [
+    "append_jsonl",
+    "dump_row",
     "history_from_dict",
     "history_to_dict",
     "load_histories",
+    "metric_from_json",
+    "read_jsonl",
     "save_histories",
+    "truncate_partial_tail",
+    "write_jsonl",
 ]

@@ -39,6 +39,17 @@ def history_to_dict(history: TrainingHistory) -> dict:
     }
 
 
+def metric_from_json(value) -> float:
+    """Parse a stored metric; ``None`` means a non-finite value was
+    sanitised away by the strict-JSON writer (:mod:`repro.io.jsonl`).
+
+    The one place that rule is implemented — every consumer of
+    sanitised rows (history loading, sweep tables, CLI progress) goes
+    through here.
+    """
+    return float("nan") if value is None else float(value)
+
+
 def history_from_dict(data: dict) -> TrainingHistory:
     """Inverse of :func:`history_to_dict`."""
     required = {"setting", "aggregation", "heterogeneity", "num_clients", "num_byzantine"}
@@ -57,10 +68,10 @@ def history_from_dict(data: dict) -> TrainingHistory:
         history.append(
             RoundRecord(
                 round_index=int(record["round_index"]),
-                accuracy=float(record["accuracy"]),
-                loss=float(record["loss"]),
+                accuracy=metric_from_json(record["accuracy"]),
+                loss=metric_from_json(record["loss"]),
                 per_client_accuracy={
-                    int(k): float(v) for k, v in record.get("per_client_accuracy", {}).items()
+                    int(k): metric_from_json(v) for k, v in record.get("per_client_accuracy", {}).items()
                 },
                 gradient_disagreement=(
                     None

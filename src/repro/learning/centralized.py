@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.aggregation.base import AggregationRule
+from repro.aggregation.context import AggregationContext
 from repro.byzantine.base import AttackContext
 from repro.data.datasets import Dataset
 from repro.learning.client import Client
@@ -134,7 +135,11 @@ class CentralizedTrainer:
                 raise RuntimeError(
                     f"no gradients received in round {round_index}; cannot aggregate"
                 )
-            aggregate = self.aggregation.aggregate(np.stack(received, axis=0))
+            # One context per round: every distance-based step of the
+            # rule (and any diagnostics sharing it) reuses the same
+            # pairwise-distance matrix.
+            round_context = AggregationContext(np.stack(received, axis=0))
+            aggregate = self.aggregation.aggregate(context=round_context)
             parameters = self.optimizer.step(parameters, aggregate, round_index)
             self.global_model.set_flat_parameters(parameters)
 

@@ -21,6 +21,7 @@ from repro.linalg.distances import (
     max_coordinate_spread,
     pairwise_distances,
     pairwise_sq_distances,
+    resolve_pairwise_matrix,
 )
 from repro.linalg.geometric_median import (
     WeiszfeldResult,
@@ -57,6 +58,7 @@ __all__ = [
     "minimum_diameter_subset",
     "pairwise_distances",
     "pairwise_sq_distances",
+    "resolve_pairwise_matrix",
     "ritter_ball",
     "safe_area_vertices",
     "sample_subsets",

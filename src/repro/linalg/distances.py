@@ -34,6 +34,31 @@ def pairwise_distances(vectors: np.ndarray) -> np.ndarray:
     return np.sqrt(pairwise_sq_distances(vectors))
 
 
+def resolve_pairwise_matrix(
+    vectors: np.ndarray,
+    precomputed: "np.ndarray | None",
+    *,
+    squared: bool = False,
+) -> np.ndarray:
+    """Validate a caller-supplied pairwise matrix or compute one.
+
+    Shared by every consumer that accepts a precomputed distance matrix
+    (Krum scores, the medoid, the minimum-diameter subset search) — e.g.
+    from an :class:`~repro.aggregation.context.AggregationContext`.
+    ``squared`` selects which matrix is computed when none is supplied;
+    a supplied matrix is only shape-checked, trusting the caller on the
+    squared/plain distinction.
+    """
+    m = vectors.shape[0]
+    if precomputed is None:
+        return pairwise_sq_distances(vectors) if squared else pairwise_distances(vectors)
+    if precomputed.shape != (m, m):
+        raise ValueError(
+            f"pairwise matrix must have shape {(m, m)}, got {precomputed.shape}"
+        )
+    return precomputed
+
+
 def diameter(vectors: np.ndarray) -> float:
     """Largest Euclidean distance between any two of the given vectors.
 

@@ -62,13 +62,19 @@ def geometric_median_cost(
     return float(np.dot(w, dists))
 
 
-def medoid_index(vectors: np.ndarray) -> int:
-    """Index of the input point minimising the sum of distances to the others."""
+def medoid_index(vectors: np.ndarray, *, dist: Optional[np.ndarray] = None) -> int:
+    """Index of the input point minimising the sum of distances to the others.
+
+    ``dist`` optionally supplies the precomputed ``(m, m)`` pairwise
+    distance matrix (e.g. from a shared
+    :class:`~repro.aggregation.context.AggregationContext`), skipping the
+    GEMM-based recomputation.
+    """
     mat = ensure_matrix(vectors, name="vectors")
     # Reuse the GEMM-based pairwise computation; O(m^2 d).
-    from repro.linalg.distances import pairwise_distances
+    from repro.linalg.distances import resolve_pairwise_matrix
 
-    dist = pairwise_distances(mat)
+    dist = resolve_pairwise_matrix(mat, dist)
     return int(np.argmin(dist.sum(axis=1)))
 
 

@@ -160,19 +160,30 @@ def _candidate_subsets(
     return list(enumerate_subsets(m, subset_size))
 
 
+def _resolve_distances(
+    mat: np.ndarray, dist: Optional[np.ndarray]
+) -> np.ndarray:
+    """Validate a caller-supplied distance matrix or compute one."""
+    from repro.linalg.distances import resolve_pairwise_matrix
+
+    return resolve_pairwise_matrix(mat, dist)
+
+
 def minimum_diameter_subset(
     vectors: np.ndarray,
     subset_size: int,
     *,
     max_subsets: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    dist: Optional[np.ndarray] = None,
 ) -> Tuple[Tuple[int, ...], float]:
     """Indices of a ``subset_size``-subset with minimum diameter (Def. 3.4).
 
     Returns the (sorted) index tuple and its diameter.  Exhaustive by
     default; a greedy seeded sampling mode is used when ``max_subsets``
     caps the search.  Ties are broken by the lexicographically smallest
-    index tuple, which makes the choice deterministic.
+    index tuple, which makes the choice deterministic.  ``dist``
+    optionally supplies the precomputed pairwise distance matrix.
     """
     mat = ensure_matrix(vectors, name="vectors")
     m = mat.shape[0]
@@ -180,9 +191,7 @@ def minimum_diameter_subset(
         raise ValueError(
             f"subset_size must be in [1, {m}], got {subset_size}"
         )
-    from repro.linalg.distances import pairwise_distances
-
-    dist = pairwise_distances(mat)
+    dist = _resolve_distances(mat, dist)
     candidates = _candidate_subsets(dist, m, subset_size, max_subsets, rng)
 
     best_idx: Optional[Tuple[int, ...]] = None
@@ -207,6 +216,7 @@ def minimum_diameter_subsets(
     max_subsets: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     tolerance: float = 1e-12,
+    dist: Optional[np.ndarray] = None,
 ) -> Tuple[list[Tuple[int, ...]], float]:
     """*All* minimum-diameter ``subset_size``-subsets (within ``tolerance``).
 
@@ -214,15 +224,14 @@ def minimum_diameter_subsets(
     Lemma 4.2's non-convergence argument relies on an adversarial choice
     among the tied subsets.  This variant returns every subset whose
     diameter is within ``tolerance`` (relative to the spread) of the
-    minimum, so callers can implement worst-case tie-breaking.
+    minimum, so callers can implement worst-case tie-breaking.  ``dist``
+    optionally supplies the precomputed pairwise distance matrix.
     """
     mat = ensure_matrix(vectors, name="vectors")
     m = mat.shape[0]
     if subset_size < 1 or subset_size > m:
         raise ValueError(f"subset_size must be in [1, {m}], got {subset_size}")
-    from repro.linalg.distances import pairwise_distances
-
-    dist = pairwise_distances(mat)
+    dist = _resolve_distances(mat, dist)
     candidates = _candidate_subsets(dist, m, subset_size, max_subsets, rng)
     diameters = []
     for idx in candidates:

@@ -1,0 +1,33 @@
+"""Batched scenario sweeps: declarative grids over experiment configs.
+
+``ScenarioGrid`` expands axis specs into experiment configurations with
+deterministic per-cell seeds; ``SweepRunner`` executes them — serially
+or on a process pool — streaming one JSONL row per cell and resuming
+interrupted runs.  See ``docs/sweeps.md`` for the spec format and CLI.
+"""
+
+from repro.sweep.grid import (
+    CONFIG_FIELDS,
+    ScenarioGrid,
+    SweepCell,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.sweep.runner import (
+    ROW_SCHEMA_VERSION,
+    SweepRunner,
+    rows_to_histories,
+    run_cell,
+)
+
+__all__ = [
+    "CONFIG_FIELDS",
+    "ROW_SCHEMA_VERSION",
+    "ScenarioGrid",
+    "SweepCell",
+    "SweepRunner",
+    "config_from_dict",
+    "config_to_dict",
+    "rows_to_histories",
+    "run_cell",
+]

@@ -1,0 +1,200 @@
+"""Batched execution of scenario grids.
+
+:class:`SweepRunner` executes every cell of a :class:`ScenarioGrid`,
+either serially or on a ``multiprocessing`` worker pool, and streams one
+JSONL row per completed cell.  Three properties make sweeps safe to run
+at scale:
+
+- **Determinism** — each cell's experiment is fully determined by its
+  configuration (which embeds a per-cell seed), so a sweep produces the
+  same rows for any worker count.  Results are consumed in submission
+  order, so the output file is byte-for-byte identical as well.
+- **Streaming** — a row is appended and flushed as soon as its cell
+  finishes; an interrupt loses at most the cells in flight.
+- **Resume** — rows already present in the output file are trusted
+  (matched by cell id *and* configuration) and their cells skipped, so
+  re-running the same command after an interrupt completes the sweep
+  instead of restarting it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.io.jsonl import append_jsonl, read_jsonl, truncate_partial_tail
+from repro.io.results import history_from_dict, history_to_dict
+from repro.learning.experiment import run_experiment
+from repro.learning.history import TrainingHistory
+from repro.sweep.grid import ScenarioGrid, SweepCell, config_from_dict, config_to_dict
+from repro.utils.logging import get_logger
+
+_logger = get_logger("sweep.runner")
+
+#: Bumped when the row layout changes incompatibly.
+ROW_SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def run_cell(payload: dict) -> dict:
+    """Execute one grid cell and build its result row.
+
+    Module-level (not a closure) so ``multiprocessing`` can ship it to
+    worker processes under any start method.  The row is a pure function
+    of the cell's configuration — the property the parallel == serial
+    and resume guarantees rest on.
+    """
+    config = config_from_dict(payload["config"])
+    history = run_experiment(config)
+    return {
+        "schema": ROW_SCHEMA_VERSION,
+        "index": payload["index"],
+        "cell_id": payload["cell_id"],
+        "axes": payload["axes"],
+        "config": payload["config"],
+        "summary": {
+            "final_accuracy": history.final_accuracy(),
+            "best_accuracy": history.best_accuracy(),
+            "final_loss": history.losses()[-1] if history.records else None,
+            "rounds": history.rounds,
+        },
+        "history": history_to_dict(history),
+    }
+
+
+def rows_to_histories(rows: List[dict]) -> Dict[str, TrainingHistory]:
+    """Reconstruct the per-cell training histories, keyed by cell id."""
+    return {
+        row["cell_id"]: history_from_dict(row["history"])
+        for row in rows
+        if "history" in row
+    }
+
+
+class SweepRunner:
+    """Executes a scenario grid with optional parallelism and resume.
+
+    Parameters
+    ----------
+    grid:
+        The scenario grid to run.
+    workers:
+        1 (default) runs cells in-process; larger values use a
+        ``multiprocessing`` pool of that size.  Either way results are
+        consumed in cell order, so the streamed output is identical.
+    output_path:
+        Optional JSONL file to stream rows to.  Required for resume.
+    resume:
+        When true (default) and ``output_path`` exists, rows whose cell
+        id and configuration match the current grid are reused and their
+        cells skipped.
+    on_cell:
+        Optional callback ``(cell, row, reused)`` fired per completed
+        cell — the CLI uses it for progress output.
+    """
+
+    def __init__(
+        self,
+        grid: ScenarioGrid,
+        *,
+        workers: int = 1,
+        output_path: Optional[PathLike] = None,
+        resume: bool = True,
+        on_cell: Optional[Callable[[SweepCell, dict, bool], None]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.grid = grid
+        self.workers = int(workers)
+        self.output_path = None if output_path is None else Path(output_path)
+        self.resume = bool(resume)
+        self.on_cell = on_cell
+
+    # -- resume bookkeeping --------------------------------------------------
+    def completed_rows(
+        self, cells: Optional[List[SweepCell]] = None
+    ) -> Dict[str, dict]:
+        """Rows already present in the output file, keyed by cell id.
+
+        Only rows whose configuration matches the current grid count as
+        completed; a row from an older spec with the same cell id is
+        ignored (its cell re-runs and the fresh row wins on read-back).
+        ``cells`` optionally supplies the already-expanded grid.
+        """
+        if not self.resume or self.output_path is None or not self.output_path.exists():
+            return {}
+        if cells is None:
+            cells = self.grid.cells()
+        expected = {cell.cell_id: config_to_dict(cell.config) for cell in cells}
+        completed: Dict[str, dict] = {}
+        for row in read_jsonl(self.output_path):
+            cell_id = row.get("cell_id")
+            if (
+                isinstance(cell_id, str)
+                and cell_id in expected
+                and row.get("schema") == ROW_SCHEMA_VERSION
+                and row.get("config") == expected[cell_id]
+            ):
+                completed[cell_id] = row
+        return completed
+
+    # -- execution -----------------------------------------------------------
+    def run(self) -> List[dict]:
+        """Run every pending cell; return all rows in grid order."""
+        cells = self.grid.validate()  # fail fast before any cell runs
+        completed = self.completed_rows(cells)
+        if self.output_path is not None and self.output_path.exists():
+            if self.resume:
+                # An interrupted writer may have left a partial final
+                # line; drop those bytes so appended rows start clean.
+                truncate_partial_tail(self.output_path)
+            else:
+                # Resume is off: start the stream fresh instead of
+                # appending duplicate rows after the existing ones.
+                self.output_path.write_text("")
+        pending = [cell for cell in cells if cell.cell_id not in completed]
+        if completed:
+            _logger.info(
+                "resuming sweep: %d/%d cells already completed",
+                len(completed), len(cells),
+            )
+
+        rows_by_id = dict(completed)
+        results = self._results(pending)
+        # Walk the grid in order so progress callbacks (fresh and
+        # cached alike) fire immediately and with monotonic indices;
+        # pending results arrive in this same order from _results.
+        for cell in cells:
+            if cell.cell_id in completed:
+                row, reused = completed[cell.cell_id], True
+            else:
+                row, reused = next(results), False
+                if self.output_path is not None:
+                    append_jsonl(self.output_path, row)
+                rows_by_id[cell.cell_id] = row
+            if self.on_cell is not None:
+                self.on_cell(cell, row, reused)
+        return [rows_by_id[cell.cell_id] for cell in cells]
+
+    def _results(self, pending: List[SweepCell]):
+        """Yield result rows for the pending cells, in submission order."""
+        payloads = [
+            {
+                "index": cell.index,
+                "cell_id": cell.cell_id,
+                "axes": cell.axes,
+                "config": config_to_dict(cell.config),
+            }
+            for cell in pending
+        ]
+        if self.workers == 1 or len(pending) <= 1:
+            for payload in payloads:
+                yield run_cell(payload)
+            return
+        # imap preserves submission order, so the streamed JSONL matches
+        # the serial execution byte for byte even when cells finish out
+        # of order.
+        with multiprocessing.Pool(processes=min(self.workers, len(pending))) as pool:
+            yield from pool.imap(run_cell, payloads)

@@ -1,9 +1,19 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and markers for the test suite."""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+
+
+def pytest_configure(config):
+    # Registered in setup.cfg as well; repeated here so the marker (and
+    # `-m "not slow"` deselection) works even when pytest is pointed at
+    # the tests directory without the repo-root ini file.
+    config.addinivalue_line(
+        "markers",
+        'slow: long-running sweep / end-to-end tests (deselect with -m "not slow")',
+    )
 
 
 @pytest.fixture

@@ -49,7 +49,7 @@ class TestRegistry:
         class Dummy(AggregationRule):
             name = "dummy-rule"
 
-            def _aggregate(self, vectors):
+            def _aggregate(self, vectors, context):
                 return vectors.mean(axis=0)
 
         register_rule("dummy-rule-test", Dummy)
@@ -65,7 +65,7 @@ class TestRegistry:
 
     def test_register_empty_name_rejected(self):
         class Dummy(AggregationRule):
-            def _aggregate(self, vectors):
+            def _aggregate(self, vectors, context):
                 return vectors.mean(axis=0)
 
         with pytest.raises(ValueError):

@@ -110,3 +110,59 @@ class TestCli:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestCliSweep:
+    SPEC = {
+        "base": {
+            "num_clients": 4, "num_byzantine": 1, "rounds": 1, "num_samples": 40,
+            "batch_size": 8, "mlp_hidden": [8, 4], "seed": 5,
+        },
+        "axes": {"aggregation": ["mean", "krum"]},
+    }
+
+    def _write_spec(self, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(self.SPEC))
+        return spec_path
+
+    def test_dry_run_lists_cells(self, capsys, tmp_path):
+        code = main(["sweep", str(self._write_spec(tmp_path)), "--dry-run"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cells" in out
+        assert "aggregation=mean" in out and "aggregation=krum" in out
+
+    def test_sweep_runs_and_streams_rows(self, capsys, tmp_path):
+        out_path = tmp_path / "rows.jsonl"
+        code = main(["sweep", str(self._write_spec(tmp_path)),
+                     "--output", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final" in out and "aggregation" in out
+        rows = [json.loads(line) for line in out_path.read_text().splitlines()]
+        assert [row["cell_id"] for row in rows] == [
+            "aggregation=mean", "aggregation=krum",
+        ]
+        # Re-running resumes: every cell is reported as cached.
+        code = main(["sweep", str(self._write_spec(tmp_path)),
+                     "--output", str(out_path)])
+        assert code == 0
+        assert capsys.readouterr().out.count("cached") == 2
+
+    def test_missing_spec_errors(self, capsys, tmp_path):
+        assert main(["sweep", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_invalid_spec_errors(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["sweep", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_invalid_spec_content_errors(self, capsys, tmp_path):
+        bad = tmp_path / "bad_axis.json"
+        bad.write_text(json.dumps({"axes": {"bogus_axis": [1]}}))
+        assert main(["sweep", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "invalid sweep spec" in err and "bogus_axis" in err

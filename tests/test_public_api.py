@@ -19,6 +19,7 @@ class TestTopLevel:
             "repro.linalg", "repro.aggregation", "repro.agreement", "repro.byzantine",
             "repro.network", "repro.data", "repro.nn", "repro.learning", "repro.theory",
             "repro.analysis", "repro.io", "repro.utils", "repro.core", "repro.cli",
+            "repro.sweep",
         ):
             module = importlib.import_module(name)
             assert module is not None
@@ -27,7 +28,7 @@ class TestTopLevel:
         for name in (
             "repro.linalg", "repro.aggregation", "repro.agreement", "repro.byzantine",
             "repro.network", "repro.data", "repro.nn", "repro.learning", "repro.theory",
-            "repro.analysis", "repro.io", "repro.utils",
+            "repro.analysis", "repro.io", "repro.utils", "repro.sweep",
         ):
             module = importlib.import_module(name)
             for symbol in getattr(module, "__all__", []):

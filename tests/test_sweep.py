@@ -1,0 +1,378 @@
+"""Tests for the scenario-sweep engine (repro.sweep) and JSONL io."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.io.jsonl import (
+    append_jsonl,
+    dump_row,
+    read_jsonl,
+    truncate_partial_tail,
+    write_jsonl,
+)
+from repro.learning.experiment import ExperimentConfig
+from repro.sweep import (
+    ROW_SCHEMA_VERSION,
+    ScenarioGrid,
+    SweepRunner,
+    config_from_dict,
+    config_to_dict,
+    rows_to_histories,
+)
+
+
+def tiny_config(**overrides) -> ExperimentConfig:
+    """Smallest config that still exercises the full experiment path."""
+    base = ExperimentConfig(
+        num_clients=4,
+        num_byzantine=1,
+        rounds=2,
+        num_samples=40,
+        batch_size=8,
+        learning_rate=0.05,
+        mlp_hidden=(8, 4),
+        seed=5,
+    )
+    return base.with_overrides(**overrides)
+
+
+def tiny_grid() -> ScenarioGrid:
+    return ScenarioGrid(
+        tiny_config(),
+        {"heterogeneity": ["uniform", "extreme"], "aggregation": ["mean", "krum"]},
+    )
+
+
+class TestJsonl:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "rows" / "out.jsonl"
+        append_jsonl(path, {"b": 2, "a": 1})
+        append_jsonl(path, {"c": [1, 2]})
+        assert read_jsonl(path) == [{"a": 1, "b": 2}, {"c": [1, 2]}]
+        # Sorted keys make the bytes deterministic.
+        assert path.read_text().splitlines()[0] == '{"a": 1, "b": 2}'
+
+    def test_write_jsonl_overwrites(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        write_jsonl(path, [{"b": 2}])
+        assert read_jsonl(path) == [{"b": 2}]
+
+    def test_partial_tail_skipped(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2')  # interrupted final write
+        assert read_jsonl(path) == [{"a": 1}]
+
+    def test_parseable_unterminated_tail_also_skipped(self, tmp_path):
+        # A prefix of a longer row can itself be valid JSON; without a
+        # terminating newline it is still an interrupted write.
+        path = tmp_path / "out.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}')
+        assert read_jsonl(path) == [{"a": 1}]
+
+    def test_truncate_partial_tail(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        assert truncate_partial_tail(path) == 0  # missing file
+        path.write_text('{"a": 1}\n{"b": 2')
+        assert truncate_partial_tail(path) == len('{"b": 2')
+        assert path.read_text() == '{"a": 1}\n'
+        assert truncate_partial_tail(path) == 0  # already clean
+        path.write_text("{partial only")
+        truncate_partial_tail(path)
+        assert path.read_text() == ""
+
+    def test_invalid_middle_line_raises(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        path.write_text('{"a": 1}\nnot json\n{"b": 2}\n')
+        with pytest.raises(ValueError):
+            read_jsonl(path)
+
+    def test_non_object_row_rejected(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        path.write_text("[1, 2]\n{}\n")
+        with pytest.raises(ValueError):
+            read_jsonl(path)
+
+    def test_non_finite_floats_become_null(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        append_jsonl(path, {"loss": float("nan"), "ratio": float("inf"), "ok": 1.5})
+        line = path.read_text().strip()
+        assert "NaN" not in line and "Infinity" not in line
+        assert read_jsonl(path) == [{"loss": None, "ratio": None, "ok": 1.5}]
+
+    def test_nan_metrics_round_trip_through_history(self):
+        from repro.io.results import history_from_dict, history_to_dict
+        from repro.learning.history import RoundRecord, TrainingHistory
+
+        history = TrainingHistory(
+            setting="centralized", aggregation="mean", attack="magnitude",
+            heterogeneity="mild", num_clients=4, num_byzantine=1,
+        )
+        history.append(RoundRecord(round_index=0, accuracy=0.1, loss=float("nan")))
+        payload = json.loads(dump_row(history_to_dict(history)))
+        restored = history_from_dict(payload)
+        assert np.isnan(restored.records[0].loss)
+        assert restored.records[0].accuracy == 0.1
+
+
+class TestConfigSerialization:
+    def test_round_trip(self):
+        config = tiny_config(attack=None, aggregation_kwargs={"max_subsets": 5})
+        data = json.loads(json.dumps(config_to_dict(config)))
+        assert config_from_dict(data) == config
+        assert isinstance(config_from_dict(data).mlp_hidden, tuple)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown ExperimentConfig fields"):
+            config_from_dict({"not_a_field": 1})
+
+
+class TestScenarioGrid:
+    def test_expansion_size_order_and_ids(self):
+        grid = tiny_grid()
+        cells = grid.cells()
+        assert len(grid) == len(cells) == 4
+        assert [c.cell_id for c in cells] == [
+            "heterogeneity=uniform/aggregation=mean",
+            "heterogeneity=uniform/aggregation=krum",
+            "heterogeneity=extreme/aggregation=mean",
+            "heterogeneity=extreme/aggregation=krum",
+        ]
+        assert [c.index for c in cells] == [0, 1, 2, 3]
+        for cell in cells:
+            assert cell.config.heterogeneity == cell.axes["heterogeneity"]
+            assert cell.config.aggregation == cell.axes["aggregation"]
+
+    def test_per_cell_seeds_distinct_and_stable(self):
+        first = tiny_grid().cells()
+        second = tiny_grid().cells()
+        seeds = [c.config.seed for c in first]
+        assert len(set(seeds)) == len(seeds)  # decorrelated cells
+        assert seeds == [c.config.seed for c in second]  # reproducible
+        assert all(c.config.seed != tiny_config().seed for c in first)
+
+    def test_seed_axis_wins_over_derivation(self):
+        grid = ScenarioGrid(tiny_config(), {"seed": [1, 2]})
+        assert [c.config.seed for c in grid.cells()] == [1, 2]
+
+    def test_derive_seeds_off_keeps_base_seed_for_paired_comparisons(self):
+        grid = ScenarioGrid(
+            tiny_config(), {"aggregation": ["mean", "krum"]}, derive_seeds=False
+        )
+        assert [c.config.seed for c in grid.cells()] == [5, 5]
+        spec = json.loads(json.dumps(grid.to_spec()))
+        assert spec["derive_seeds"] is False
+        restored = ScenarioGrid.from_spec(spec)
+        assert restored.derive_seeds is False
+        assert [c.config.seed for c in restored.cells()] == [5, 5]
+        # Default specs stay minimal and keep deriving.
+        assert "derive_seeds" not in tiny_grid().to_spec()
+
+    def test_attack_none_axis_value(self):
+        grid = ScenarioGrid(tiny_config(), {"attack": [None, "sign-flip"]})
+        cells = grid.cells()
+        assert cells[0].cell_id == "attack=none"
+        assert cells[0].config.attack is None
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError, match="unknown axis"):
+            ScenarioGrid(tiny_config(), {"not_a_field": [1]})
+        with pytest.raises(ValueError, match="no values"):
+            ScenarioGrid(tiny_config(), {"aggregation": []})
+        with pytest.raises(ValueError, match="must be a sequence"):
+            ScenarioGrid(tiny_config(), {"aggregation": "mean"})
+        with pytest.raises(ValueError, match="duplicate"):
+            ScenarioGrid(tiny_config(), {"aggregation": ["mean", "mean"]})
+        with pytest.raises(ValueError, match="at least one axis"):
+            ScenarioGrid(tiny_config(), {})
+        with pytest.raises(ValueError, match="must be a sequence"):
+            ScenarioGrid(tiny_config(), {"rounds": 5})
+
+    def test_scalar_mlp_hidden_rejected(self):
+        with pytest.raises(ValueError, match="mlp_hidden"):
+            config_from_dict({"mlp_hidden": 8})
+
+    def test_validate_catches_unknown_names_early(self):
+        grid = ScenarioGrid(tiny_config(), {"aggregation": ["mean", "bogus-rule"]})
+        with pytest.raises(ValueError, match="unknown centralized aggregation 'bogus-rule'"):
+            grid.validate()
+        grid = ScenarioGrid(tiny_config(), {"attack": ["sign-flip", "bogus-attack"]})
+        with pytest.raises(ValueError, match="unknown attack 'bogus-attack'"):
+            grid.validate()
+        assert len(tiny_grid().validate()) == 4
+
+    def test_validate_catches_invalid_cell_config(self):
+        # Valid field name, invalid value: caught at expansion time.
+        grid = ScenarioGrid(tiny_config(), {"num_byzantine": [1, 5]})
+        with pytest.raises(ValueError, match="num_byzantine"):
+            grid.validate()
+
+    def test_spec_round_trip(self):
+        grid = tiny_grid()
+        spec = json.loads(json.dumps(grid.to_spec()))
+        restored = ScenarioGrid.from_spec(spec)
+        assert restored.axes == grid.axes
+        assert [c.cell_id for c in restored.cells()] == [c.cell_id for c in grid.cells()]
+        assert [c.config for c in restored.cells()] == [c.config for c in grid.cells()]
+
+    def test_from_spec_defaults_and_errors(self):
+        grid = ScenarioGrid.from_spec({"axes": {"heterogeneity": ["uniform"]}})
+        assert grid.base == ExperimentConfig()
+        with pytest.raises(ValueError, match="axes"):
+            ScenarioGrid.from_spec({"base": {}})
+        with pytest.raises(ValueError, match="unknown sweep spec keys"):
+            ScenarioGrid.from_spec({"axes": {"seed": [1]}, "extra": 1})
+
+
+class TestSweepRunner:
+    def test_workers_validation(self):
+        with pytest.raises(ValueError):
+            SweepRunner(tiny_grid(), workers=0)
+
+    @pytest.mark.slow
+    def test_same_spec_gives_identical_jsonl(self, tmp_path):
+        grid = tiny_grid()
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        rows1 = SweepRunner(grid, output_path=first).run()
+        rows2 = SweepRunner(grid, output_path=second).run()
+        assert first.read_bytes() == second.read_bytes()
+        assert rows1 == rows2
+        assert all(row["schema"] == ROW_SCHEMA_VERSION for row in rows1)
+        histories = rows_to_histories(rows1)
+        assert set(histories) == {c.cell_id for c in grid.cells()}
+        assert all(h.rounds == 2 for h in histories.values())
+
+    @pytest.mark.slow
+    def test_resume_skips_completed_cells(self, tmp_path):
+        grid = tiny_grid()
+        path = tmp_path / "sweep.jsonl"
+        baseline = SweepRunner(grid, output_path=path).run()
+        original = path.read_bytes()
+
+        # Drop the last row, as an interrupt would.
+        lines = original.decode().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+
+        executed = []
+        runner = SweepRunner(
+            grid,
+            output_path=path,
+            on_cell=lambda cell, row, reused: executed.append((cell.cell_id, reused)),
+        )
+        assert len(runner.completed_rows()) == len(grid) - 1
+        resumed = runner.run()
+        assert path.read_bytes() == original
+        assert resumed == baseline
+        # Exactly one cell re-ran; every other one was reused, and the
+        # progress callbacks fired in grid order (cached interleaved).
+        fresh = [cell_id for cell_id, reused in executed if not reused]
+        assert fresh == [grid.cells()[-1].cell_id]
+        assert [cell_id for cell_id, _ in executed] == [
+            c.cell_id for c in grid.cells()
+        ]
+
+    @pytest.mark.slow
+    def test_resume_after_partial_final_line(self, tmp_path):
+        """An interrupted write (partial line, no newline) must not glue
+        the re-run row onto the partial bytes."""
+        grid = tiny_grid()
+        path = tmp_path / "sweep.jsonl"
+        SweepRunner(grid, output_path=path).run()
+        original = path.read_bytes()
+
+        # Cut the final row mid-line, as a mid-write interrupt would.
+        path.write_bytes(original[:-40])
+        resumed = SweepRunner(grid, output_path=path).run()
+        assert path.read_bytes() == original
+        assert [row["cell_id"] for row in resumed] == [
+            c.cell_id for c in grid.cells()
+        ]
+        # And the repaired file keeps resuming cleanly.
+        assert len(SweepRunner(grid, output_path=path).completed_rows()) == len(grid)
+
+    @pytest.mark.slow
+    def test_stale_row_with_changed_config_reruns(self, tmp_path):
+        grid = tiny_grid()
+        path = tmp_path / "sweep.jsonl"
+        baseline = SweepRunner(grid, output_path=path).run()
+
+        # Rewrite the first row as if it came from a different spec.
+        rows = read_jsonl(path)
+        rows[0]["config"]["rounds"] = 99
+        write_jsonl(path, rows)
+        runner = SweepRunner(grid, output_path=path)
+        assert len(runner.completed_rows()) == len(grid) - 1
+        assert runner.run() == baseline
+
+    @pytest.mark.slow
+    def test_no_resume_restarts_stream_without_duplicates(self, tmp_path):
+        grid = tiny_grid()
+        path = tmp_path / "sweep.jsonl"
+        SweepRunner(grid, output_path=path).run()
+        first = path.read_bytes()
+        runner = SweepRunner(grid, output_path=path, resume=False)
+        assert runner.completed_rows() == {}
+        runner.run()
+        # The file is rewritten, not appended: same rows, no duplicates.
+        assert path.read_bytes() == first
+        assert len(read_jsonl(path)) == len(grid)
+
+    @pytest.mark.slow
+    def test_parallel_matches_serial(self, tmp_path):
+        grid = tiny_grid()
+        serial, parallel = tmp_path / "serial.jsonl", tmp_path / "parallel.jsonl"
+        rows1 = SweepRunner(grid, workers=1, output_path=serial).run()
+        rows2 = SweepRunner(grid, workers=2, output_path=parallel).run()
+        assert serial.read_bytes() == parallel.read_bytes()
+        assert rows1 == rows2
+
+    @pytest.mark.slow
+    def test_three_axis_sweep_parallel_and_resume(self, tmp_path):
+        """Acceptance: 2 heterogeneity x 2 attacks x 2 rules, workers=2."""
+        grid = ScenarioGrid(
+            tiny_config(rounds=1),
+            {
+                "heterogeneity": ["uniform", "extreme"],
+                "attack": ["sign-flip", "crash"],
+                "aggregation": ["krum", "box-mean"],
+            },
+        )
+        assert len(grid) == 8
+        serial, parallel = tmp_path / "serial.jsonl", tmp_path / "parallel.jsonl"
+        rows1 = SweepRunner(grid, workers=1, output_path=serial).run()
+        rows2 = SweepRunner(grid, workers=2, output_path=parallel).run()
+        assert rows1 == rows2
+        assert serial.read_bytes() == parallel.read_bytes()
+
+        # Resume correctly after deleting the last row.
+        original = parallel.read_bytes()
+        lines = original.decode().splitlines()
+        parallel.write_text("\n".join(lines[:-1]) + "\n")
+        resumed = SweepRunner(grid, workers=2, output_path=parallel).run()
+        assert resumed == rows1
+        assert parallel.read_bytes() == original
+
+
+class TestSweepReporting:
+    def test_summary_table_lists_every_cell(self):
+        rows = [
+            {
+                "index": i,
+                "axes": {"heterogeneity": het, "aggregation": rule},
+                "summary": {"final_accuracy": 0.5, "best_accuracy": 0.6, "rounds": 2},
+            }
+            for i, (het, rule) in enumerate(
+                [("uniform", "mean"), ("extreme", "krum")]
+            )
+        ]
+        from repro.analysis.reporting import sweep_summary_table
+
+        table = sweep_summary_table(rows)
+        assert "heterogeneity" in table and "aggregation" in table
+        assert "uniform" in table and "krum" in table
+        assert "0.500" in table and "0.600" in table
+        assert sweep_summary_table([]) == "(no sweep rows)"
