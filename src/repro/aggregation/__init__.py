@@ -26,6 +26,7 @@ from repro.aggregation.context import (
     cache_hit_rate,
     cache_stats,
     reset_cache_stats,
+    subset_cache_hit_rate,
 )
 from repro.aggregation.mean import CoordinatewiseMedian, Mean, TrimmedMean
 from repro.aggregation.geometric_median import GeometricMedian
@@ -62,4 +63,5 @@ __all__ = [
     "make_rule",
     "register_rule",
     "reset_cache_stats",
+    "subset_cache_hit_rate",
 ]

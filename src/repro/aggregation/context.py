@@ -13,35 +13,60 @@ GEMM, every later consumer reuses the exact same array, so results are
 bitwise-identical to the uncached code path.  Module-level counters
 record cache hits and misses so the benchmark suite can report the hit
 rate (see ``benchmarks/bench_sweep_engine.py``).
+
+On top of the distance matrices the context also caches the *subset
+artifacts* the subset-quantified rules (BOX-MEAN/BOX-GEOM,
+MD-MEAN/MD-GEOM) consume per round: the exhaustive ``(S, s)`` subset
+index matrix, the ``(S,)`` subset diameters, the ``(S, d)`` subset
+means, and the ``(S, d)`` subset geometric medians.  BOX- and MD-rules
+evaluated on the same received stack (e.g. via ``aggregate_all`` or the
+agreement sub-rounds) therefore never recompute a subset family or its
+aggregates.  Only deterministic, exhaustive families are cached —
+sampled families depend on the caller's random generator and bypass the
+cache so results stay identical to the uncached path.  Subset-cache
+traffic is counted separately (``subset_hits`` / ``subset_misses``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.utils.validation import ensure_matrix
 
-#: Cumulative cache counters, keyed by "hits" / "misses".
-_CACHE_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
+#: Cumulative cache counters.  "hits"/"misses" track the pairwise
+#: distance matrices; "subset_hits"/"subset_misses" track the per-round
+#: subset artifacts (index matrices, diameters, means, medians).
+_CACHE_STATS: Dict[str, int] = {
+    "hits": 0,
+    "misses": 0,
+    "subset_hits": 0,
+    "subset_misses": 0,
+}
 
 
 def cache_stats() -> Dict[str, int]:
-    """Copy of the global distance-cache counters (hits / misses)."""
+    """Copy of the global cache counters (distance + subset)."""
     return dict(_CACHE_STATS)
 
 
 def reset_cache_stats() -> None:
-    """Zero the global distance-cache counters."""
-    _CACHE_STATS["hits"] = 0
-    _CACHE_STATS["misses"] = 0
+    """Zero the global cache counters."""
+    for key in _CACHE_STATS:
+        _CACHE_STATS[key] = 0
 
 
 def cache_hit_rate() -> float:
     """Fraction of distance-matrix requests served from the cache."""
     total = _CACHE_STATS["hits"] + _CACHE_STATS["misses"]
     return _CACHE_STATS["hits"] / total if total else 0.0
+
+
+def subset_cache_hit_rate() -> float:
+    """Fraction of subset-artifact requests served from the cache."""
+    total = _CACHE_STATS["subset_hits"] + _CACHE_STATS["subset_misses"]
+    return _CACHE_STATS["subset_hits"] / total if total else 0.0
 
 
 class AggregationContext:
@@ -61,14 +86,33 @@ class AggregationContext:
     Passing the same context to several rules shares the distance work
     between them; every rule also works without a context, in which case
     it builds a private one (see :meth:`AggregationRule.aggregate`).
+
+    The subset accessors (:meth:`subset_indices`,
+    :meth:`subset_diameters`, :meth:`subset_means`,
+    :meth:`subset_geometric_medians`) cache only exhaustive families —
+    they are deterministic functions of the wrapped matrix, so reuse is
+    result-identical.  ``chunk_size`` arguments affect peak memory only,
+    never values, and are therefore not part of any cache key.
     """
 
-    __slots__ = ("matrix", "_sq_distances", "_distances")
+    __slots__ = (
+        "matrix",
+        "_sq_distances",
+        "_distances",
+        "_subset_indices",
+        "_subset_diameters",
+        "_subset_means",
+        "_subset_medians",
+    )
 
     def __init__(self, vectors: np.ndarray) -> None:
         self.matrix = ensure_matrix(vectors, name="vectors", min_rows=1)
         self._sq_distances: Optional[np.ndarray] = None
         self._distances: Optional[np.ndarray] = None
+        self._subset_indices: Dict[int, np.ndarray] = {}
+        self._subset_diameters: Dict[int, np.ndarray] = {}
+        self._subset_means: Dict[int, np.ndarray] = {}
+        self._subset_medians: Dict[Tuple[int, float, int, float], np.ndarray] = {}
 
     @property
     def num_vectors(self) -> int:
@@ -107,6 +151,100 @@ class AggregationContext:
             _CACHE_STATS["hits"] += 1
         return self._distances
 
+    # -- per-round subset artifacts ------------------------------------------
+    def _check_subset_size(self, subset_size: int) -> int:
+        size = int(subset_size)
+        if size < 1 or size > self.num_vectors:
+            raise ValueError(
+                f"subset_size must be in [1, {self.num_vectors}], got {subset_size}"
+            )
+        return size
+
+    def subset_indices(self, subset_size: int) -> np.ndarray:
+        """Exhaustive ``(C(m, s), s)`` subset index matrix (memoised)."""
+        size = self._check_subset_size(subset_size)
+        cached = self._subset_indices.get(size)
+        if cached is None:
+            from repro.linalg.subset_kernels import subset_index_matrix
+
+            _CACHE_STATS["subset_misses"] += 1
+            cached = subset_index_matrix(self.num_vectors, size)
+            self._subset_indices[size] = cached
+        else:
+            _CACHE_STATS["subset_hits"] += 1
+        return cached
+
+    def subset_diameters(
+        self, subset_size: int, *, chunk_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Diameters of every exhaustive ``subset_size``-subset (memoised)."""
+        size = self._check_subset_size(subset_size)
+        cached = self._subset_diameters.get(size)
+        if cached is None:
+            from repro.linalg.subset_kernels import subset_diameters
+
+            _CACHE_STATS["subset_misses"] += 1
+            cached = subset_diameters(
+                self.distances, self.subset_indices(size), chunk_size=chunk_size
+            )
+            self._subset_diameters[size] = cached
+        else:
+            _CACHE_STATS["subset_hits"] += 1
+        return cached
+
+    def subset_means(
+        self, subset_size: int, *, chunk_size: Optional[int] = None
+    ) -> np.ndarray:
+        """Means of every exhaustive ``subset_size``-subset (memoised)."""
+        size = self._check_subset_size(subset_size)
+        cached = self._subset_means.get(size)
+        if cached is None:
+            from repro.linalg.subset_kernels import subset_means
+
+            _CACHE_STATS["subset_misses"] += 1
+            cached = subset_means(
+                self.matrix, self.subset_indices(size), chunk_size=chunk_size
+            )
+            self._subset_means[size] = cached
+        else:
+            _CACHE_STATS["subset_hits"] += 1
+        return cached
+
+    def subset_geometric_medians(
+        self,
+        subset_size: int,
+        *,
+        tol: float = 1e-8,
+        max_iter: int = 200,
+        eps: float = 1e-12,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Geometric medians of every exhaustive subset (memoised).
+
+        Cached per ``(subset_size, tol, max_iter, eps)`` so rules with
+        different solver settings never share results.
+        """
+        size = self._check_subset_size(subset_size)
+        key = (size, float(tol), int(max_iter), float(eps))
+        cached = self._subset_medians.get(key)
+        if cached is None:
+            from repro.linalg.subset_kernels import subset_geometric_medians
+
+            _CACHE_STATS["subset_misses"] += 1
+            cached = subset_geometric_medians(
+                self.matrix,
+                self.subset_indices(size),
+                tol=tol,
+                max_iter=max_iter,
+                eps=eps,
+                chunk_size=chunk_size,
+                dist=self.distances,
+            )
+            self._subset_medians[key] = cached
+        else:
+            _CACHE_STATS["subset_hits"] += 1
+        return cached
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         cached = [
             name
@@ -115,6 +253,16 @@ class AggregationContext:
                 ("dist", self._distances),
             )
             if value is not None
+        ]
+        cached += [
+            f"{name}[{len(table)}]"
+            for name, table in (
+                ("subsets", self._subset_indices),
+                ("diams", self._subset_diameters),
+                ("means", self._subset_means),
+                ("medians", self._subset_medians),
+            )
+            if table
         ]
         return (
             f"AggregationContext(m={self.num_vectors}, d={self.dimension}, "

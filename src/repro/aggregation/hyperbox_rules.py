@@ -14,19 +14,27 @@ it received in one round:
 Theorem 4.4 shows the intersection is never empty, and that repeating
 the procedure across nodes converges; the one-shot output is a
 ``2·sqrt(d)``-approximation of the true geometric median.
+
+The per-subset aggregates run through the batched kernels of
+:mod:`repro.linalg.subset_kernels`: the exhaustive family is served by
+the per-round :class:`~repro.aggregation.context.AggregationContext`
+cache (shared with the MD rules and across BOX rules in one round) and
+sampled families go straight to the chunked kernels.  Subset means are
+bitwise-identical to the per-tuple loop; subset geometric medians match
+within the Weiszfeld tolerance.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.aggregation.base import AggregationRule
 from repro.aggregation.context import AggregationContext
-from repro.linalg.geometric_median import geometric_median
 from repro.linalg.hyperbox import Hyperbox, bounding_hyperbox, trimmed_hyperbox
-from repro.linalg.subsets import subset_aggregates
+from repro.linalg.subset_kernels import subset_geometric_medians, subset_means
+from repro.linalg.subsets import subset_count, subset_family
 
 
 class _HyperboxRuleBase(AggregationRule):
@@ -39,15 +47,28 @@ class _HyperboxRuleBase(AggregationRule):
         *,
         max_subsets: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         super().__init__(n=n, t=t)
         if max_subsets is not None and max_subsets < 1:
             raise ValueError("max_subsets must be positive when given")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive when given")
         self.max_subsets = max_subsets
+        self.chunk_size = chunk_size
         self._rng = rng
 
-    # The per-subset aggregate (mean or geometric median).
-    def _subset_aggregate(self) -> Callable[[np.ndarray], np.ndarray]:
+    # -- batched per-subset aggregates (mean or geometric median) ------------
+    def _cached_subset_aggregates(
+        self, context: AggregationContext, size: int
+    ) -> np.ndarray:
+        """Exhaustive ``(S, d)`` aggregates from the shared context cache."""
+        raise NotImplementedError
+
+    def _sampled_subset_aggregates(
+        self, context: AggregationContext, indices: np.ndarray
+    ) -> np.ndarray:
+        """``(S, d)`` aggregates of a sampled index-matrix family."""
         raise NotImplementedError
 
     def trusted_hyperbox(self, vectors: np.ndarray) -> Hyperbox:
@@ -56,19 +77,45 @@ class _HyperboxRuleBase(AggregationRule):
         trim = max(0, m - self.honest_subset_size(m))
         return trimmed_hyperbox(vectors, trim)
 
-    def aggregate_hyperbox(self, vectors: np.ndarray) -> Hyperbox:
+    def aggregate_hyperbox(
+        self,
+        vectors: np.ndarray,
+        *,
+        context: Optional[AggregationContext] = None,
+    ) -> Hyperbox:
         """Smallest box containing the per-subset aggregates (GH / mean-box)."""
-        size = self.honest_subset_size(vectors.shape[0])
-        aggregates = subset_aggregates(
-            vectors,
-            size,
-            self._subset_aggregate(),
-            max_subsets=self.max_subsets,
-            rng=self._rng,
+        if context is None:
+            context = AggregationContext(vectors)
+        else:
+            shape = np.shape(vectors)
+            if len(shape) == 1:
+                shape = (1, shape[0])
+            if shape != context.matrix.shape:
+                raise ValueError(
+                    f"context wraps a {context.matrix.shape} stack but "
+                    f"vectors have shape {shape}"
+                )
+        m = context.num_vectors
+        size = self.honest_subset_size(m)
+        sampling = (
+            self.max_subsets is not None
+            and self.max_subsets < subset_count(m, size)
         )
+        if sampling:
+            indices = subset_family(
+                context.matrix, size, max_subsets=self.max_subsets, rng=self._rng
+            )
+            aggregates = self._sampled_subset_aggregates(context, indices)
+        else:
+            aggregates = self._cached_subset_aggregates(context, size)
         return bounding_hyperbox(aggregates)
 
-    def decision_hyperbox(self, vectors: np.ndarray) -> Hyperbox:
+    def decision_hyperbox(
+        self,
+        vectors: np.ndarray,
+        *,
+        context: Optional[AggregationContext] = None,
+    ) -> Hyperbox:
         """Intersection ``TH ∩ GH`` whose midpoint is the output.
 
         Falls back to the aggregate hyperbox when numerical noise makes
@@ -77,7 +124,7 @@ class _HyperboxRuleBase(AggregationRule):
         guarantee can be violated, so the fallback keeps the rule total).
         """
         th = self.trusted_hyperbox(vectors)
-        gh = self.aggregate_hyperbox(vectors)
+        gh = self.aggregate_hyperbox(vectors, context=context)
         inter = th.intersect(gh)
         if inter.is_empty:
             # Repair coordinate-wise: keep the intersection where it is
@@ -89,7 +136,7 @@ class _HyperboxRuleBase(AggregationRule):
         return inter
 
     def _aggregate(self, vectors: np.ndarray, context: AggregationContext) -> np.ndarray:
-        return self.decision_hyperbox(vectors).midpoint()
+        return self.decision_hyperbox(vectors, context=context).midpoint()
 
 
 class HyperboxMean(_HyperboxRuleBase):
@@ -97,8 +144,15 @@ class HyperboxMean(_HyperboxRuleBase):
 
     name = "box-mean"
 
-    def _subset_aggregate(self) -> Callable[[np.ndarray], np.ndarray]:
-        return lambda rows: rows.mean(axis=0)
+    def _cached_subset_aggregates(
+        self, context: AggregationContext, size: int
+    ) -> np.ndarray:
+        return context.subset_means(size, chunk_size=self.chunk_size)
+
+    def _sampled_subset_aggregates(
+        self, context: AggregationContext, indices: np.ndarray
+    ) -> np.ndarray:
+        return subset_means(context.matrix, indices, chunk_size=self.chunk_size)
 
 
 class HyperboxGeometricMedian(_HyperboxRuleBase):
@@ -119,10 +173,29 @@ class HyperboxGeometricMedian(_HyperboxRuleBase):
         rng: Optional[np.random.Generator] = None,
         tol: float = 1e-8,
         max_iter: int = 100,
+        chunk_size: Optional[int] = None,
     ) -> None:
-        super().__init__(n=n, t=t, max_subsets=max_subsets, rng=rng)
+        super().__init__(
+            n=n, t=t, max_subsets=max_subsets, rng=rng, chunk_size=chunk_size
+        )
         self.tol = float(tol)
         self.max_iter = int(max_iter)
 
-    def _subset_aggregate(self) -> Callable[[np.ndarray], np.ndarray]:
-        return lambda rows: geometric_median(rows, tol=self.tol, max_iter=self.max_iter)
+    def _cached_subset_aggregates(
+        self, context: AggregationContext, size: int
+    ) -> np.ndarray:
+        return context.subset_geometric_medians(
+            size, tol=self.tol, max_iter=self.max_iter, chunk_size=self.chunk_size
+        )
+
+    def _sampled_subset_aggregates(
+        self, context: AggregationContext, indices: np.ndarray
+    ) -> np.ndarray:
+        return subset_geometric_medians(
+            context.matrix,
+            indices,
+            tol=self.tol,
+            max_iter=self.max_iter,
+            chunk_size=self.chunk_size,
+            dist=context.distances,
+        )

@@ -13,6 +13,13 @@ minimum diameter (Definition 3.4) and then aggregate that subset:
 The subset search is exponential in general (``C(m, n - t)`` subsets);
 ``max_subsets`` switches to the sampled/greedy search from
 :func:`repro.linalg.subsets.minimum_diameter_subset` for larger systems.
+
+All candidate diameters are computed by the batched gather kernel
+(:func:`repro.linalg.subset_kernels.subset_diameters`); in the
+exhaustive case the index matrix and the diameters come from the shared
+per-round :class:`~repro.aggregation.context.AggregationContext` cache,
+so MD-MEAN and MD-GEOM evaluated on the same received stack (or the
+adversarial tie-break re-scanning the same family) pay for them once.
 """
 
 from __future__ import annotations
@@ -24,7 +31,13 @@ import numpy as np
 from repro.aggregation.base import AggregationRule
 from repro.aggregation.context import AggregationContext
 from repro.linalg.geometric_median import geometric_median
-from repro.linalg.subsets import minimum_diameter_subset, minimum_diameter_subsets
+from repro.linalg.subsets import (
+    minimum_diameter_subset,
+    minimum_diameter_subsets,
+    select_minimum_diameter,
+    select_minimum_diameter_ties,
+    subset_count,
+)
 
 #: Valid tie-breaking strategies among equal-diameter subsets.
 TIE_BREAKS = ("first", "adversarial")
@@ -53,18 +66,25 @@ class _MinimumDiameterBase(AggregationRule):
         max_subsets: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         tie_break: str = "first",
+        chunk_size: Optional[int] = None,
     ) -> None:
         super().__init__(n=n, t=t)
         if max_subsets is not None and max_subsets < 1:
             raise ValueError("max_subsets must be positive when given")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be positive when given")
         if tie_break not in TIE_BREAKS:
             raise ValueError(f"tie_break must be one of {TIE_BREAKS}, got {tie_break!r}")
         self.max_subsets = max_subsets
         self.tie_break = tie_break
+        self.chunk_size = chunk_size
         self._rng = rng
 
     def _subset_aggregate(self, rows: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def _exhaustive(self, m: int, size: int) -> bool:
+        return self.max_subsets is None or self.max_subsets >= subset_count(m, size)
 
     def minimum_diameter_set(
         self,
@@ -74,14 +94,35 @@ class _MinimumDiameterBase(AggregationRule):
     ) -> Tuple[Tuple[int, ...], float]:
         """Indices of the selected minimum-diameter subset and its diameter."""
         size = self.honest_subset_size(vectors.shape[0])
-        dist = None if context is None else context.distances
+        use_cache = context is not None and self._exhaustive(vectors.shape[0], size)
         if self.tie_break == "first":
+            if use_cache:
+                return select_minimum_diameter(
+                    context.subset_indices(size),
+                    context.subset_diameters(size, chunk_size=self.chunk_size),
+                )
             return minimum_diameter_subset(
-                vectors, size, max_subsets=self.max_subsets, rng=self._rng, dist=dist
+                vectors,
+                size,
+                max_subsets=self.max_subsets,
+                rng=self._rng,
+                dist=None if context is None else context.distances,
+                chunk_size=self.chunk_size,
             )
-        tied, diam = minimum_diameter_subsets(
-            vectors, size, max_subsets=self.max_subsets, rng=self._rng, dist=dist
-        )
+        if use_cache:
+            tied, diam = select_minimum_diameter_ties(
+                context.subset_indices(size),
+                context.subset_diameters(size, chunk_size=self.chunk_size),
+            )
+        else:
+            tied, diam = minimum_diameter_subsets(
+                vectors,
+                size,
+                max_subsets=self.max_subsets,
+                rng=self._rng,
+                dist=None if context is None else context.distances,
+                chunk_size=self.chunk_size,
+            )
         reference = vectors.mean(axis=0)
         best_idx = tied[0]
         best_dist = -1.0
@@ -122,8 +163,16 @@ class MinimumDiameterGeometricMedian(_MinimumDiameterBase):
         tie_break: str = "first",
         tol: float = 1e-8,
         max_iter: int = 200,
+        chunk_size: Optional[int] = None,
     ) -> None:
-        super().__init__(n=n, t=t, max_subsets=max_subsets, rng=rng, tie_break=tie_break)
+        super().__init__(
+            n=n,
+            t=t,
+            max_subsets=max_subsets,
+            rng=rng,
+            tie_break=tie_break,
+            chunk_size=chunk_size,
+        )
         self.tol = float(tol)
         self.max_iter = int(max_iter)
 

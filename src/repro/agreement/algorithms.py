@@ -15,6 +15,12 @@ Agreement
 TrimmedMeanAgreement       coordinate-wise trimmed mean (El-Mhamdi
                            et al.'s second optimal averaging algorithm)
 ========================  =============================================
+
+The subset-quantified algorithms (BOX-*, MD-*) accept a ``chunk_size``
+knob forwarded to the batched subset kernels
+(:mod:`repro.linalg.subset_kernels`): it bounds how many subsets one
+kernel invocation materialises at a time, trading peak memory for a few
+extra kernel launches at large ``C(m, n - t)``.
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ class HyperboxGeometricMedianAgreement(AggregationAgreement):
         rng: Optional[np.random.Generator] = None,
         weiszfeld_tol: float = 1e-8,
         weiszfeld_max_iter: int = 100,
+        chunk_size: Optional[int] = None,
     ) -> None:
         rule = HyperboxGeometricMedian(
             n=n,
@@ -61,6 +68,7 @@ class HyperboxGeometricMedianAgreement(AggregationAgreement):
             rng=rng,
             tol=weiszfeld_tol,
             max_iter=weiszfeld_max_iter,
+            chunk_size=chunk_size,
         )
         super().__init__(n, t, rule)
         self.name = "box-geom"
@@ -78,8 +86,11 @@ class HyperboxMeanAgreement(AggregationAgreement):
         *,
         max_subsets: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
-        rule = HyperboxMean(n=n, t=t, max_subsets=max_subsets, rng=rng)
+        rule = HyperboxMean(
+            n=n, t=t, max_subsets=max_subsets, rng=rng, chunk_size=chunk_size
+        )
         super().__init__(n, t, rule)
         self.name = "box-mean"
 
@@ -105,6 +116,7 @@ class MinimumDiameterGeometricMedianAgreement(AggregationAgreement):
         tie_break: str = "first",
         weiszfeld_tol: float = 1e-8,
         weiszfeld_max_iter: int = 200,
+        chunk_size: Optional[int] = None,
     ) -> None:
         rule = MinimumDiameterGeometricMedian(
             n=n,
@@ -114,6 +126,7 @@ class MinimumDiameterGeometricMedianAgreement(AggregationAgreement):
             tie_break=tie_break,
             tol=weiszfeld_tol,
             max_iter=weiszfeld_max_iter,
+            chunk_size=chunk_size,
         )
         super().__init__(n, t, rule)
         self.name = "md-geom"
@@ -132,9 +145,15 @@ class MinimumDiameterMeanAgreement(AggregationAgreement):
         max_subsets: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         tie_break: str = "first",
+        chunk_size: Optional[int] = None,
     ) -> None:
         rule = MinimumDiameterMean(
-            n=n, t=t, max_subsets=max_subsets, rng=rng, tie_break=tie_break
+            n=n,
+            t=t,
+            max_subsets=max_subsets,
+            rng=rng,
+            tie_break=tie_break,
+            chunk_size=chunk_size,
         )
         super().__init__(n, t, rule)
         self.name = "md-mean"

@@ -20,7 +20,8 @@ import numpy as np
 from repro.linalg.covering_ball import Ball, minimum_covering_ball
 from repro.linalg.distances import diameter
 from repro.linalg.geometric_median import geometric_median
-from repro.linalg.subsets import subset_aggregates
+from repro.linalg.subset_kernels import subset_geometric_medians
+from repro.linalg.subsets import subset_family
 from repro.utils.validation import ensure_matrix
 
 
@@ -41,22 +42,21 @@ def geometric_median_candidates(
     rng: Optional[np.random.Generator] = None,
     tol: float = 1e-9,
     max_iter: int = 200,
+    chunk_size: Optional[int] = None,
 ) -> np.ndarray:
     """The set ``S_geo``: geometric medians of all ``(n - t)``-subsets.
 
     ``received_vectors`` is the full ``(m, d)`` stack a node observed
     (honest and Byzantine alike); the subset size is ``n - t`` clipped to
     ``m``.  Exhaustive by default, sampled when ``max_subsets`` caps the
-    enumeration.
+    enumeration.  The whole family is solved by one batched Weiszfeld
+    call (:func:`repro.linalg.subset_kernels.subset_geometric_medians`).
     """
     mat = ensure_matrix(received_vectors, name="received_vectors")
     subset_size = min(max(n - t, 1), mat.shape[0])
-    return subset_aggregates(
-        mat,
-        subset_size,
-        lambda rows: geometric_median(rows, tol=tol, max_iter=max_iter),
-        max_subsets=max_subsets,
-        rng=rng,
+    indices = subset_family(mat, subset_size, max_subsets=max_subsets, rng=rng)
+    return subset_geometric_medians(
+        mat, indices, tol=tol, max_iter=max_iter, chunk_size=chunk_size
     )
 
 
@@ -67,10 +67,11 @@ def covering_ball_of_sgeo(
     *,
     max_subsets: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    chunk_size: Optional[int] = None,
 ) -> Ball:
     """Minimum covering ball ``B(S_geo)`` whose radius is ``r_cov``."""
     candidates = geometric_median_candidates(
-        received_vectors, n, t, max_subsets=max_subsets, rng=rng
+        received_vectors, n, t, max_subsets=max_subsets, rng=rng, chunk_size=chunk_size
     )
     return minimum_covering_ball(candidates)
 

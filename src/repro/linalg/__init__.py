@@ -14,6 +14,9 @@ aggregation layers build on:
   safe-area construction for low dimensions.
 - :mod:`repro.linalg.subsets` — enumeration and sampling of the
   ``(n - t)``-subsets used to build ``S_geo`` and the trusted hyperbox.
+- :mod:`repro.linalg.subset_kernels` — batched (chunked) kernels over
+  ``(S, s)`` subset index matrices: diameters in one gather, means in
+  one reduction, geometric medians via the batched Weiszfeld solver.
 """
 
 from repro.linalg.distances import (
@@ -24,7 +27,9 @@ from repro.linalg.distances import (
     resolve_pairwise_matrix,
 )
 from repro.linalg.geometric_median import (
+    BatchedWeiszfeldResult,
     WeiszfeldResult,
+    batched_geometric_median,
     geometric_median,
     geometric_median_cost,
     medoid,
@@ -33,18 +38,28 @@ from repro.linalg.geometric_median import (
 from repro.linalg.hyperbox import Hyperbox, bounding_hyperbox, trimmed_hyperbox
 from repro.linalg.covering_ball import Ball, minimum_covering_ball, ritter_ball
 from repro.linalg.convex import in_convex_hull, safe_area_vertices, tverberg_point
+from repro.linalg.subset_kernels import (
+    subset_diameters,
+    subset_geometric_medians,
+    subset_index_matrix,
+    subset_means,
+    subsets_as_matrix,
+)
 from repro.linalg.subsets import (
     enumerate_subsets,
     minimum_diameter_subset,
     sample_subsets,
     subset_aggregates,
     subset_count,
+    subset_family,
 )
 
 __all__ = [
     "Ball",
+    "BatchedWeiszfeldResult",
     "Hyperbox",
     "WeiszfeldResult",
+    "batched_geometric_median",
     "bounding_hyperbox",
     "diameter",
     "enumerate_subsets",
@@ -64,6 +79,12 @@ __all__ = [
     "sample_subsets",
     "subset_aggregates",
     "subset_count",
+    "subset_diameters",
+    "subset_family",
+    "subset_geometric_medians",
+    "subset_index_matrix",
+    "subset_means",
+    "subsets_as_matrix",
     "trimmed_hyperbox",
     "tverberg_point",
 ]

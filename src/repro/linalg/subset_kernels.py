@@ -1,0 +1,239 @@
+"""Batched kernels over families of ``(n - t)``-subsets.
+
+The subset-quantified rules (BOX-MEAN / BOX-GEOM, MD-MEAN / MD-GEOM,
+``S_geo``) all evaluate one small computation — a mean, a geometric
+median, a diameter — on every subset of a family of ``C(m, n - t)``
+index tuples.  Evaluating them one tuple at a time costs O(S) Python
+round-trips through the scalar solvers; this module restructures the
+work into a handful of BLAS-shaped array kernels instead:
+
+- a subset family is a single ``(S, s)`` int64 **index matrix**
+  (:func:`subset_index_matrix` for exhaustive lexicographic families,
+  :func:`subsets_as_matrix` for sampled tuple lists),
+- subset **diameters** are one chunked gather over the precomputed
+  ``(m, m)`` pairwise distance matrix (:func:`subset_diameters`),
+- subset **means** are one chunked fancy-index + reduction
+  (:func:`subset_means`), bitwise-identical to the per-tuple loop,
+- subset **geometric medians** run the smoothed Weiszfeld iteration on
+  the whole ``(S, s, d)`` tensor simultaneously with per-subset
+  convergence masking (:func:`subset_geometric_medians`, built on
+  :func:`repro.linalg.geometric_median.batched_geometric_median`).
+
+Every kernel takes a ``chunk_size`` knob (number of subsets per chunk)
+so peak memory stays bounded at large ``C(m, n - t)``; ``None`` picks a
+chunk from the :data:`DEFAULT_CHUNK_ELEMENTS` element budget.  See
+``docs/performance.md`` for the memory/speed trade-off and benchmark
+numbers (``benchmarks/bench_subset_kernels.py``).
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from math import comb
+from typing import Optional
+
+import numpy as np
+
+#: Element budget (float64 entries per intermediate tensor) used to pick
+#: an automatic chunk size.  4M elements = ~32 MiB per temporary.
+DEFAULT_CHUNK_ELEMENTS = 4_000_000
+
+
+def subset_index_matrix(m: int, k: int) -> np.ndarray:
+    """All k-subsets of ``range(m)`` as an ``(C(m, k), k)`` int64 matrix.
+
+    Rows are in lexicographic order, matching
+    :func:`repro.linalg.subsets.enumerate_subsets` row for row.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    total = comb(m, k) if k <= m else 0
+    if total == 0:
+        return np.empty((0, k), dtype=np.int64)
+    flat = np.fromiter(
+        chain.from_iterable(combinations(range(m), k)),
+        dtype=np.int64,
+        count=total * k,
+    )
+    return flat.reshape(total, k)
+
+
+def subsets_as_matrix(subsets, k: Optional[int] = None) -> np.ndarray:
+    """Convert a sequence of index tuples to an ``(S, k)`` int64 matrix."""
+    rows = list(subsets)
+    if not rows:
+        if k is None:
+            raise ValueError("cannot infer subset size from an empty family")
+        return np.empty((0, int(k)), dtype=np.int64)
+    mat = np.asarray(rows, dtype=np.int64)
+    if mat.ndim != 2:
+        raise ValueError(f"subsets must all have the same size, got ragged input")
+    if k is not None and mat.shape[1] != int(k):
+        raise ValueError(
+            f"subsets have size {mat.shape[1]}, expected {int(k)}"
+        )
+    return mat
+
+
+def validate_subset_indices(indices: np.ndarray, m: int) -> np.ndarray:
+    """Validate an ``(S, s)`` index matrix against a stack of ``m`` rows."""
+    idx = np.asarray(indices)
+    if idx.ndim != 2:
+        raise ValueError(f"index matrix must be 2-D, got shape {idx.shape}")
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise ValueError(f"index matrix must be integer-typed, got {idx.dtype}")
+    if idx.size and (idx.min() < 0 or idx.max() >= m):
+        raise ValueError(f"subset indices must lie in [0, {m}), got range "
+                         f"[{idx.min()}, {idx.max()}]")
+    return idx.astype(np.int64, copy=False)
+
+
+def resolve_chunk_size(
+    chunk_size: Optional[int], per_subset_elements: int, total: int
+) -> int:
+    """Number of subsets per chunk: explicit, or from the element budget."""
+    if chunk_size is not None:
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        return min(int(chunk_size), max(1, total))
+    per = max(1, int(per_subset_elements))
+    return max(1, min(total if total else 1, DEFAULT_CHUNK_ELEMENTS // per))
+
+
+def subset_diameters(
+    dist: np.ndarray,
+    indices: np.ndarray,
+    *,
+    chunk_size: Optional[int] = None,
+) -> np.ndarray:
+    """Diameter of every subset, gathered from a pairwise distance matrix.
+
+    Parameters
+    ----------
+    dist:
+        ``(m, m)`` pairwise Euclidean distance matrix (e.g. from
+        :attr:`repro.aggregation.context.AggregationContext.distances`).
+    indices:
+        ``(S, s)`` subset index matrix.
+    chunk_size:
+        Subsets per chunk; bounds the ``chunk * s * s`` gather temporary.
+
+    Returns
+    -------
+    ``(S,)`` float64 array.  Values are bitwise-identical to
+    ``dist[np.ix_(rows, rows)].max()`` per subset (``max`` is exact).
+    """
+    dist = np.asarray(dist, dtype=np.float64)
+    if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
+        raise ValueError(f"dist must be a square matrix, got shape {dist.shape}")
+    idx = validate_subset_indices(indices, dist.shape[0])
+    total, s = idx.shape
+    out = np.zeros(total, dtype=np.float64)
+    if total == 0 or s <= 1:
+        return out
+    chunk = resolve_chunk_size(chunk_size, s * s, total)
+    for start in range(0, total, chunk):
+        rows = idx[start : start + chunk]
+        gathered = dist[rows[:, :, None], rows[:, None, :]]
+        out[start : start + chunk] = gathered.max(axis=(1, 2))
+    return out
+
+
+def subset_means(
+    matrix: np.ndarray,
+    indices: np.ndarray,
+    *,
+    chunk_size: Optional[int] = None,
+) -> np.ndarray:
+    """Mean vector of every subset, as one chunked gather + reduction.
+
+    Bitwise-identical to ``matrix[list(idx)].mean(axis=0)`` per subset:
+    the reduction over the subset axis accumulates rows in the same
+    order in both layouts.
+    """
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {mat.shape}")
+    idx = validate_subset_indices(indices, mat.shape[0])
+    total, s = idx.shape
+    d = mat.shape[1]
+    out = np.empty((total, d), dtype=np.float64)
+    if total == 0:
+        return out
+    if s == 0:
+        raise ValueError("subset size must be at least 1 for means")
+    chunk = resolve_chunk_size(chunk_size, s * d, total)
+    for start in range(0, total, chunk):
+        out[start : start + chunk] = mat[idx[start : start + chunk]].mean(axis=1)
+    return out
+
+
+def subset_geometric_medians(
+    matrix: np.ndarray,
+    indices: np.ndarray,
+    *,
+    tol: float = 1e-8,
+    max_iter: int = 200,
+    eps: float = 1e-12,
+    chunk_size: Optional[int] = None,
+    dist: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Geometric median of every subset via one batched Weiszfeld solve.
+
+    Parameters
+    ----------
+    matrix:
+        ``(m, d)`` stack of received vectors.
+    indices:
+        ``(S, s)`` subset index matrix.
+    tol, max_iter, eps:
+        Forwarded to the batched Weiszfeld iteration; identical meaning
+        to the scalar :func:`repro.linalg.geometric_median.geometric_median`.
+    chunk_size:
+        Subsets per chunk; bounds the ``chunk * s * d`` iteration tensor
+        (and the ``chunk * s * s`` pairwise tensor of the vertex-snap
+        step).
+    dist:
+        Optional precomputed ``(m, m)`` pairwise distance matrix.  When
+        given, the per-subset pairwise distances needed by the
+        vertex-snap step are a free gather instead of a batched GEMM.
+
+    Returns
+    -------
+    ``(S, d)`` float64 array, matching the scalar per-subset solve
+    within a tolerance of order ``tol`` (the two paths run the same
+    iteration but accumulate sums in different orders).
+    """
+    from repro.linalg.geometric_median import batched_geometric_median
+
+    mat = np.asarray(matrix, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {mat.shape}")
+    idx = validate_subset_indices(indices, mat.shape[0])
+    total, s = idx.shape
+    d = mat.shape[1]
+    out = np.empty((total, d), dtype=np.float64)
+    if total == 0:
+        return out
+    if s == 0:
+        raise ValueError("subset size must be at least 1 for geometric medians")
+    if s == 1:
+        return mat[idx[:, 0]].copy()
+    if dist is not None:
+        dist = np.asarray(dist, dtype=np.float64)
+        if dist.shape != (mat.shape[0], mat.shape[0]):
+            raise ValueError(
+                f"dist must have shape {(mat.shape[0], mat.shape[0])}, "
+                f"got {dist.shape}"
+            )
+    chunk = resolve_chunk_size(chunk_size, s * max(s, d), total)
+    for start in range(0, total, chunk):
+        rows = idx[start : start + chunk]
+        points = mat[rows]
+        pairwise = None
+        if dist is not None:
+            pairwise = dist[rows[:, :, None], rows[:, None, :]]
+        out[start : start + chunk] = batched_geometric_median(
+            points, tol=tol, max_iter=max_iter, eps=eps, pairwise=pairwise
+        )
+    return out

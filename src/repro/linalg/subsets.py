@@ -10,18 +10,32 @@ Several constructions in the paper quantify over every subset of size
 For the paper's scale (n = 10, t <= 3) exhaustive enumeration is cheap;
 for larger systems the number of subsets explodes, so every consumer can
 switch to uniform random subset sampling with a caller-provided budget.
+
+Subset families are materialised as ``(S, s)`` int64 index matrices
+(:func:`subset_family`) and the heavy per-subset work — diameters,
+means, geometric medians — runs through the batched kernels in
+:mod:`repro.linalg.subset_kernels` instead of per-tuple Python loops.
 """
 
 from __future__ import annotations
 
 from itertools import combinations
 from math import comb
-from typing import Callable, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from repro.linalg.subset_kernels import (
+    subset_diameters,
+    subset_index_matrix,
+    subsets_as_matrix,
+)
 from repro.utils.rng import as_generator
 from repro.utils.validation import ensure_matrix
+
+#: Absolute slack under which two subset diameters count as tied in the
+#: sequential minimum scan (kept from the original per-tuple search).
+_DIAMETER_TIE_TOL = 1e-15
 
 
 def subset_count(m: int, k: int) -> int:
@@ -47,12 +61,20 @@ def sample_subsets(
     *,
     rng: Optional[np.random.Generator] = None,
     unique: bool = True,
+    max_attempts: Optional[int] = None,
 ) -> list[Tuple[int, ...]]:
     """Draw ``count`` k-subsets of ``range(m)`` uniformly at random.
 
     When ``unique`` is true and the requested count reaches the total
     number of subsets, falls back to exhaustive enumeration (so callers
     always get distinct subsets when that is possible).
+
+    The rejection loop runs for at most ``max_attempts`` draws (default
+    ``max(64, 16 * count)``).  If it exhausts the budget — which happens
+    with non-negligible probability when ``count`` is close to the total
+    number of subsets — the remainder is topped up *deterministically*
+    from the lexicographic enumeration, so the function always returns
+    exactly ``count`` subsets whenever ``count <= C(m, k)``.
     """
     if count < 0:
         raise ValueError("count must be non-negative")
@@ -65,8 +87,8 @@ def sample_subsets(
     picks: list[Tuple[int, ...]] = []
     seen: set[Tuple[int, ...]] = set()
     attempts = 0
-    max_attempts = max(64, 16 * count)
-    while len(picks) < count and attempts < max_attempts:
+    limit = max(64, 16 * count) if max_attempts is None else int(max_attempts)
+    while len(picks) < count and attempts < limit:
         attempts += 1
         idx = tuple(sorted(generator.choice(m, size=k, replace=False).tolist()))
         if unique:
@@ -74,7 +96,64 @@ def sample_subsets(
                 continue
             seen.add(idx)
         picks.append(idx)
+    if len(picks) < count:
+        # Deterministic top-up: the rejection loop ran out of attempts
+        # (high count/total ratio).  Fill from the lexicographic
+        # enumeration so the contract "exactly count subsets when
+        # possible" holds regardless of sampler luck.
+        for idx in enumerate_subsets(m, k):
+            if len(picks) >= count:
+                break
+            if idx in seen:
+                continue
+            seen.add(idx)
+            picks.append(idx)
     return picks
+
+
+def subset_family(
+    vectors: np.ndarray,
+    subset_size: int,
+    *,
+    max_subsets: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    include_full_range_extremes: bool = True,
+) -> np.ndarray:
+    """The ``(S, subset_size)`` index matrix of a subset family.
+
+    Exhaustive (lexicographic) when ``max_subsets`` is ``None`` or at
+    least ``C(m, subset_size)``; otherwise ``max_subsets`` uniformly
+    sampled subsets, optionally anchored by the two norm-ordered
+    prefix/suffix subsets (see :func:`subset_aggregates`).
+
+    This is the canonical representation consumed by the batched kernels
+    in :mod:`repro.linalg.subset_kernels` and cached per round by
+    :class:`repro.aggregation.context.AggregationContext`.
+    """
+    mat = ensure_matrix(vectors, name="vectors")
+    m = mat.shape[0]
+    if subset_size < 1:
+        raise ValueError("subset_size must be at least 1")
+    if subset_size > m:
+        raise ValueError(
+            f"subset_size {subset_size} exceeds the number of vectors {m}"
+        )
+    total = subset_count(m, subset_size)
+    use_sampling = max_subsets is not None and max_subsets < total
+    if not use_sampling:
+        return subset_index_matrix(m, subset_size)
+    subsets = sample_subsets(m, subset_size, int(max_subsets), rng=rng)
+    if include_full_range_extremes:
+        # The proof of Theorem 4.4 relies on the medians of the
+        # `subset_size` smallest and largest vectors (per coordinate
+        # order); including the norm-ordered prefix/suffix keeps the
+        # sampled aggregate cloud anchored.
+        order = np.argsort(np.linalg.norm(mat, axis=1))
+        prefix = tuple(sorted(order[:subset_size].tolist()))
+        suffix = tuple(sorted(order[-subset_size:].tolist()))
+        extra = [s for s in (prefix, suffix) if s not in set(subsets)]
+        subsets = list(subsets) + extra
+    return subsets_as_matrix(subsets, subset_size)
 
 
 def subset_aggregates(
@@ -87,6 +166,13 @@ def subset_aggregates(
     include_full_range_extremes: bool = True,
 ) -> np.ndarray:
     """Apply ``aggregate`` to every (or a sample of) ``subset_size``-subsets.
+
+    This is the *generic* per-subset evaluation path (arbitrary Python
+    callable).  The mean and geometric-median families the aggregation
+    rules need are served by the batched kernels
+    (:func:`repro.linalg.subset_kernels.subset_means` /
+    :func:`~repro.linalg.subset_kernels.subset_geometric_medians`),
+    which are orders of magnitude faster at exhaustive subset counts.
 
     Parameters
     ----------
@@ -110,44 +196,40 @@ def subset_aggregates(
     Returns
     -------
     ``(num_subsets, d)`` array of aggregate vectors.
+
+    .. note:: **Row-count contract.**  ``num_subsets`` equals the
+       exhaustive count when sampling is inactive, and otherwise
+       ``max_subsets`` plus *up to 2 extra rows* for the anchored
+       prefix/suffix subsets when ``include_full_range_extremes`` is
+       true (they are appended only when not already sampled).  Callers
+       that need a hard cap must pass
+       ``include_full_range_extremes=False`` or budget for
+       ``max_subsets + 2`` rows.
     """
     mat = ensure_matrix(vectors, name="vectors")
-    m = mat.shape[0]
-    if subset_size < 1:
-        raise ValueError("subset_size must be at least 1")
-    if subset_size > m:
-        raise ValueError(
-            f"subset_size {subset_size} exceeds the number of vectors {m}"
-        )
-    total = subset_count(m, subset_size)
-    use_sampling = max_subsets is not None and max_subsets < total
-    if not use_sampling:
-        subsets: Sequence[Tuple[int, ...]] = list(enumerate_subsets(m, subset_size))
-    else:
-        subsets = sample_subsets(m, subset_size, int(max_subsets), rng=rng)
-        if include_full_range_extremes:
-            # The proof of Theorem 4.4 relies on the medians of the
-            # `subset_size` smallest and largest vectors (per coordinate
-            # order); including the norm-ordered prefix/suffix keeps the
-            # sampled aggregate cloud anchored.
-            order = np.argsort(np.linalg.norm(mat, axis=1))
-            prefix = tuple(sorted(order[:subset_size].tolist()))
-            suffix = tuple(sorted(order[-subset_size:].tolist()))
-            extra = [s for s in (prefix, suffix) if s not in set(subsets)]
-            subsets = list(subsets) + extra
-    out = np.empty((len(subsets), mat.shape[1]), dtype=np.float64)
-    for row, idx in enumerate(subsets):
-        out[row] = np.asarray(aggregate(mat[list(idx)]), dtype=np.float64).reshape(-1)
+    indices = subset_family(
+        mat,
+        subset_size,
+        max_subsets=max_subsets,
+        rng=rng,
+        include_full_range_extremes=include_full_range_extremes,
+    )
+    out = np.empty((indices.shape[0], mat.shape[1]), dtype=np.float64)
+    for row in range(indices.shape[0]):
+        out[row] = np.asarray(
+            aggregate(mat[indices[row]]), dtype=np.float64
+        ).reshape(-1)
     return out
 
 
-def _candidate_subsets(
+def _candidate_indices(
     dist: np.ndarray,
     m: int,
     subset_size: int,
     max_subsets: Optional[int],
     rng: Optional[np.random.Generator],
-) -> list[Tuple[int, ...]]:
+) -> np.ndarray:
+    """Candidate index matrix for the minimum-diameter search."""
     total = subset_count(m, subset_size)
     if max_subsets is not None and max_subsets < total:
         candidates = sample_subsets(m, subset_size, int(max_subsets), rng=rng)
@@ -156,8 +238,8 @@ def _candidate_subsets(
         for anchor in range(m):
             neighbours = np.argsort(dist[anchor])[:subset_size]
             candidates.append(tuple(sorted(neighbours.tolist())))
-        return candidates
-    return list(enumerate_subsets(m, subset_size))
+        return subsets_as_matrix(candidates, subset_size)
+    return subset_index_matrix(m, subset_size)
 
 
 def _resolve_distances(
@@ -169,6 +251,52 @@ def _resolve_distances(
     return resolve_pairwise_matrix(mat, dist)
 
 
+def select_minimum_diameter(
+    indices: np.ndarray, diameters: np.ndarray
+) -> Tuple[Tuple[int, ...], float]:
+    """Sequential minimum scan over precomputed subset diameters.
+
+    Replicates the original per-tuple search exactly: a candidate
+    replaces the running best when it is more than ``1e-15`` smaller, or
+    when it ties within ``1e-15`` and its index tuple is
+    lexicographically smaller.  The scan itself is O(S) cheap Python
+    over a float list — the expensive part (the diameters) is batched.
+    """
+    if indices.shape[0] == 0:
+        raise ValueError("candidate family must be non-empty")
+    diams: List[float] = np.asarray(diameters, dtype=np.float64).tolist()
+    best_row = 0
+    best_diam = diams[0]
+    for row in range(1, len(diams)):
+        diam = diams[row]
+        if diam < best_diam - _DIAMETER_TIE_TOL:
+            best_diam = diam
+            best_row = row
+        elif abs(diam - best_diam) <= _DIAMETER_TIE_TOL and tuple(
+            indices[row].tolist()
+        ) < tuple(indices[best_row].tolist()):
+            best_diam = diam
+            best_row = row
+    return tuple(int(i) for i in indices[best_row]), float(best_diam)
+
+
+def select_minimum_diameter_ties(
+    indices: np.ndarray,
+    diameters: np.ndarray,
+    *,
+    tolerance: float = 1e-12,
+) -> Tuple[list[Tuple[int, ...]], float]:
+    """All subsets whose diameter ties the minimum within ``tolerance``."""
+    if indices.shape[0] == 0:
+        raise ValueError("candidate family must be non-empty")
+    diams = np.asarray(diameters, dtype=np.float64)
+    best = float(diams.min())
+    slack = tolerance * max(1.0, best)
+    rows = np.flatnonzero(diams <= best + slack)
+    tied = sorted({tuple(int(i) for i in indices[r]) for r in rows})
+    return tied, best
+
+
 def minimum_diameter_subset(
     vectors: np.ndarray,
     subset_size: int,
@@ -176,6 +304,7 @@ def minimum_diameter_subset(
     max_subsets: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
     dist: Optional[np.ndarray] = None,
+    chunk_size: Optional[int] = None,
 ) -> Tuple[Tuple[int, ...], float]:
     """Indices of a ``subset_size``-subset with minimum diameter (Def. 3.4).
 
@@ -184,6 +313,10 @@ def minimum_diameter_subset(
     caps the search.  Ties are broken by the lexicographically smallest
     index tuple, which makes the choice deterministic.  ``dist``
     optionally supplies the precomputed pairwise distance matrix.
+
+    All candidate diameters are computed in one chunked gather over the
+    distance matrix (:func:`repro.linalg.subset_kernels.subset_diameters`);
+    ``chunk_size`` bounds the gather temporary.
     """
     mat = ensure_matrix(vectors, name="vectors")
     m = mat.shape[0]
@@ -192,21 +325,9 @@ def minimum_diameter_subset(
             f"subset_size must be in [1, {m}], got {subset_size}"
         )
     dist = _resolve_distances(mat, dist)
-    candidates = _candidate_subsets(dist, m, subset_size, max_subsets, rng)
-
-    best_idx: Optional[Tuple[int, ...]] = None
-    best_diam = np.inf
-    for idx in candidates:
-        rows = list(idx)
-        sub = dist[np.ix_(rows, rows)]
-        diam = float(sub.max())
-        if diam < best_diam - 1e-15 or (
-            abs(diam - best_diam) <= 1e-15 and (best_idx is None or idx < best_idx)
-        ):
-            best_diam = diam
-            best_idx = tuple(idx)
-    assert best_idx is not None
-    return best_idx, best_diam
+    indices = _candidate_indices(dist, m, subset_size, max_subsets, rng)
+    diams = subset_diameters(dist, indices, chunk_size=chunk_size)
+    return select_minimum_diameter(indices, diams)
 
 
 def minimum_diameter_subsets(
@@ -217,6 +338,7 @@ def minimum_diameter_subsets(
     rng: Optional[np.random.Generator] = None,
     tolerance: float = 1e-12,
     dist: Optional[np.ndarray] = None,
+    chunk_size: Optional[int] = None,
 ) -> Tuple[list[Tuple[int, ...]], float]:
     """*All* minimum-diameter ``subset_size``-subsets (within ``tolerance``).
 
@@ -232,12 +354,6 @@ def minimum_diameter_subsets(
     if subset_size < 1 or subset_size > m:
         raise ValueError(f"subset_size must be in [1, {m}], got {subset_size}")
     dist = _resolve_distances(mat, dist)
-    candidates = _candidate_subsets(dist, m, subset_size, max_subsets, rng)
-    diameters = []
-    for idx in candidates:
-        rows = list(idx)
-        diameters.append(float(dist[np.ix_(rows, rows)].max()))
-    best = min(diameters)
-    slack = tolerance * max(1.0, best)
-    tied = [idx for idx, diam in zip(candidates, diameters) if diam <= best + slack]
-    return sorted(set(tied)), best
+    indices = _candidate_indices(dist, m, subset_size, max_subsets, rng)
+    diams = subset_diameters(dist, indices, chunk_size=chunk_size)
+    return select_minimum_diameter_ties(indices, diams, tolerance=tolerance)

@@ -27,6 +27,38 @@ class TestKrumScores:
     def test_scores_nonnegative(self, gaussian_cloud):
         assert np.all(krum_scores(gaussian_cloud, n=10, t=2) >= 0.0)
 
+    @pytest.mark.parametrize("neighbourhood", [1, 2, 5, 8, 9])
+    def test_partition_bitwise_equal_to_sorted_reference(self, rng, neighbourhood):
+        # The production path partitions each row to its k+1 smallest
+        # entries before sorting; the reference sorts the full row.  The
+        # scores must stay bitwise identical (same values summed in the
+        # same order), for every neighbourhood size including the full
+        # row (k = m - 1), across many random stacks.
+        from repro.linalg.distances import pairwise_sq_distances
+
+        for trial in range(20):
+            vectors = rng.normal(size=(10, 4))
+            sq = pairwise_sq_distances(vectors)
+            k = max(1, min(neighbourhood, 9))
+            reference = np.sort(sq, axis=1)[:, 1 : k + 1].sum(axis=1)
+            scores = krum_scores(vectors, n=10, t=1, neighbourhood=neighbourhood)
+            assert np.array_equal(scores, reference), (
+                f"partitioned Krum scores differ from the sorted reference "
+                f"(trial {trial}, k={k})"
+            )
+
+    def test_partition_bitwise_with_duplicate_rows(self):
+        # Duplicate points produce tied (zero) off-diagonal distances —
+        # the nastiest case for a partition-based k-smallest selection.
+        pts = np.array([[0.0, 0.0], [0.0, 0.0], [0.0, 0.0], [5.0, 5.0], [5.0, 5.0]])
+        from repro.linalg.distances import pairwise_sq_distances
+
+        sq = pairwise_sq_distances(pts)
+        for k in (1, 2, 3, 4):
+            reference = np.sort(sq, axis=1)[:, 1 : k + 1].sum(axis=1)
+            scores = krum_scores(pts, n=5, t=0, neighbourhood=k)
+            assert np.array_equal(scores, reference)
+
 
 class TestKrum:
     def test_output_is_an_input_vector(self, gaussian_cloud):

@@ -1,0 +1,442 @@
+"""Batched-vs-looped equivalence suite for the subset kernels.
+
+The contract of :mod:`repro.linalg.subset_kernels`:
+
+- subset **means** and **diameters** are *bitwise* identical to the
+  per-tuple scalar loops,
+- subset **geometric medians** match the scalar Weiszfeld solves within
+  a tolerance of order ``tol``,
+- ``chunk_size`` never changes values, only peak memory,
+- the :class:`~repro.aggregation.context.AggregationContext` subset
+  caches serve the exact same arrays to every consumer in a round.
+"""
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.aggregation.context import (
+    AggregationContext,
+    cache_stats,
+    reset_cache_stats,
+    subset_cache_hit_rate,
+)
+from repro.linalg.distances import pairwise_distances
+from repro.linalg.geometric_median import (
+    batched_geometric_median,
+    geometric_median,
+)
+from repro.linalg.subset_kernels import (
+    resolve_chunk_size,
+    subset_diameters,
+    subset_geometric_medians,
+    subset_index_matrix,
+    subset_means,
+    subsets_as_matrix,
+    validate_subset_indices,
+)
+from repro.linalg.subsets import subset_family
+
+
+def looped_means(mat, size):
+    return np.stack(
+        [mat[list(s)].mean(axis=0) for s in combinations(range(mat.shape[0]), size)]
+    )
+
+
+def looped_diameters(dist, size):
+    m = dist.shape[0]
+    return np.array(
+        [dist[np.ix_(list(s), list(s))].max() for s in combinations(range(m), size)]
+    )
+
+
+def looped_medians(mat, size, *, tol=1e-8, max_iter=200):
+    return np.stack(
+        [
+            geometric_median(mat[list(s)], tol=tol, max_iter=max_iter)
+            for s in combinations(range(mat.shape[0]), size)
+        ]
+    )
+
+
+#: Degenerate point stacks the batched solver must handle like the
+#: scalar one: duplicates, medians colliding with input points, and
+#: widely separated clusters.
+DEGENERATE_STACKS = {
+    "duplicates": np.array(
+        [[0.0, 0.0], [0.0, 0.0], [1.0, 0.0], [1.0, 0.0], [0.5, 1.0]]
+    ),
+    "median-on-input": np.array(
+        # A star: the centre point IS the geometric median of the set,
+        # which makes the Weiszfeld iterate collide with an input point.
+        [[0.0, 0.0], [1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]]
+    ),
+    "all-identical": np.tile([2.0, -3.0], (5, 1)),
+    "two-clusters": np.vstack(
+        [np.zeros((3, 2)), np.full((2, 2), 100.0)]
+    ),
+}
+
+
+class TestSubsetIndexMatrix:
+    def test_matches_enumeration(self):
+        idx = subset_index_matrix(7, 4)
+        assert idx.shape == (comb(7, 4), 4)
+        assert [tuple(row) for row in idx] == list(combinations(range(7), 4))
+
+    def test_edge_sizes(self):
+        assert subset_index_matrix(5, 5).shape == (1, 5)
+        assert subset_index_matrix(5, 0).shape == (1, 0)
+        assert subset_index_matrix(3, 5).shape == (0, 5)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            subset_index_matrix(3, -1)
+
+    def test_subsets_as_matrix_round_trip(self):
+        tuples = [(0, 2), (1, 3)]
+        mat = subsets_as_matrix(tuples, 2)
+        assert mat.dtype == np.int64
+        assert [tuple(r) for r in mat] == tuples
+
+    def test_subsets_as_matrix_validates(self):
+        with pytest.raises(ValueError):
+            subsets_as_matrix([], None)
+        with pytest.raises(ValueError):
+            subsets_as_matrix([(0, 1)], 3)
+
+    def test_validate_subset_indices_bounds(self):
+        with pytest.raises(ValueError):
+            validate_subset_indices(np.array([[0, 5]]), 5)
+        with pytest.raises(ValueError):
+            validate_subset_indices(np.array([[0.5, 1.0]]), 5)
+        with pytest.raises(ValueError):
+            validate_subset_indices(np.array([0, 1]), 5)
+
+
+class TestResolveChunkSize:
+    def test_explicit_clamped_to_total(self):
+        assert resolve_chunk_size(100, 10, 7) == 7
+        assert resolve_chunk_size(3, 10, 7) == 3
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            resolve_chunk_size(0, 10, 7)
+
+    def test_auto_respects_budget(self):
+        from repro.linalg.subset_kernels import DEFAULT_CHUNK_ELEMENTS
+
+        chunk = resolve_chunk_size(None, DEFAULT_CHUNK_ELEMENTS // 2, 100)
+        assert chunk == 2
+        assert resolve_chunk_size(None, 10 * DEFAULT_CHUNK_ELEMENTS, 100) == 1
+
+
+class TestBatchedMeans:
+    @pytest.mark.parametrize("size", [1, 4, 8, 10])
+    def test_bitwise_equal_to_loop(self, gaussian_cloud, size):
+        idx = subset_index_matrix(10, size)
+        batched = subset_means(gaussian_cloud, idx)
+        assert np.array_equal(batched, looped_means(gaussian_cloud, size))
+
+    @pytest.mark.parametrize("name", sorted(DEGENERATE_STACKS))
+    def test_bitwise_on_degenerate_stacks(self, name):
+        mat = DEGENERATE_STACKS[name]
+        for size in (1, 3, mat.shape[0]):
+            idx = subset_index_matrix(mat.shape[0], size)
+            assert np.array_equal(
+                subset_means(mat, idx), looped_means(mat, size)
+            )
+
+    @pytest.mark.parametrize("chunk", [1, 3, 7, 1000])
+    def test_chunking_never_changes_values(self, gaussian_cloud, chunk):
+        idx = subset_index_matrix(10, 6)
+        reference = subset_means(gaussian_cloud, idx)
+        assert np.array_equal(
+            subset_means(gaussian_cloud, idx, chunk_size=chunk), reference
+        )
+
+
+class TestBatchedDiameters:
+    @pytest.mark.parametrize("size", [1, 2, 7, 10])
+    def test_bitwise_equal_to_loop(self, gaussian_cloud, size):
+        dist = pairwise_distances(gaussian_cloud)
+        idx = subset_index_matrix(10, size)
+        batched = subset_diameters(dist, idx)
+        if size == 1:
+            assert np.array_equal(batched, np.zeros(10))
+        else:
+            assert np.array_equal(batched, looped_diameters(dist, size))
+
+    @pytest.mark.parametrize("chunk", [1, 5, 64])
+    def test_chunking_never_changes_values(self, gaussian_cloud, chunk):
+        dist = pairwise_distances(gaussian_cloud)
+        idx = subset_index_matrix(10, 7)
+        reference = subset_diameters(dist, idx)
+        assert np.array_equal(
+            subset_diameters(dist, idx, chunk_size=chunk), reference
+        )
+
+    def test_rejects_non_square_dist(self, gaussian_cloud):
+        with pytest.raises(ValueError):
+            subset_diameters(gaussian_cloud, subset_index_matrix(10, 3))
+
+
+class TestBatchedGeometricMedians:
+    @pytest.mark.parametrize("size", [1, 2, 6, 10])
+    def test_matches_scalar_within_tol(self, gaussian_cloud, size):
+        idx = subset_index_matrix(10, size)
+        batched = subset_geometric_medians(
+            gaussian_cloud, idx, tol=1e-10, max_iter=500
+        )
+        looped = looped_medians(gaussian_cloud, size, tol=1e-10, max_iter=500)
+        np.testing.assert_allclose(batched, looped, atol=1e-7)
+
+    @pytest.mark.parametrize("name", sorted(DEGENERATE_STACKS))
+    def test_degenerate_stacks_match_scalar(self, name):
+        mat = DEGENERATE_STACKS[name]
+        for size in (1, 2, 3, mat.shape[0]):
+            idx = subset_index_matrix(mat.shape[0], size)
+            batched = subset_geometric_medians(mat, idx, tol=1e-10, max_iter=500)
+            looped = looped_medians(mat, size, tol=1e-10, max_iter=500)
+            np.testing.assert_allclose(batched, looped, atol=1e-7)
+
+    def test_precomputed_dist_gather_matches_gemm_path(self, gaussian_cloud):
+        idx = subset_index_matrix(10, 6)
+        dist = pairwise_distances(gaussian_cloud)
+        with_dist = subset_geometric_medians(gaussian_cloud, idx, dist=dist)
+        without = subset_geometric_medians(gaussian_cloud, idx)
+        np.testing.assert_allclose(with_dist, without, atol=1e-9)
+
+    @pytest.mark.parametrize("chunk", [1, 4, 17, 1000])
+    def test_chunking_never_changes_values(self, gaussian_cloud, chunk):
+        idx = subset_index_matrix(10, 6)
+        reference = subset_geometric_medians(gaussian_cloud, idx)
+        chunked = subset_geometric_medians(gaussian_cloud, idx, chunk_size=chunk)
+        assert np.array_equal(chunked, reference)
+
+    def test_rejects_bad_dist_shape(self, gaussian_cloud):
+        idx = subset_index_matrix(10, 3)
+        with pytest.raises(ValueError):
+            subset_geometric_medians(gaussian_cloud, idx, dist=np.eye(3))
+
+
+class TestBatchedWeiszfeldSolver:
+    def test_return_info_fields(self, rng):
+        pts = rng.normal(size=(8, 5, 3))
+        info = batched_geometric_median(
+            pts, tol=1e-10, max_iter=500, return_info=True
+        )
+        assert info.points.shape == (8, 3)
+        assert info.iterations.shape == (8,)
+        assert info.converged.all()
+        assert np.all(info.iterations <= 500)
+        # Costs match the objective evaluated at the returned points.
+        for k in range(8):
+            expected = np.linalg.norm(pts[k] - info.points[k], axis=1).sum()
+            assert info.costs[k] == pytest.approx(expected, abs=1e-8)
+
+    def test_convergence_mask_freezes_each_set(self, rng):
+        # One trivially converging set (identical points) batched with a
+        # hard one: the easy set must record far fewer iterations.
+        easy = np.tile([1.0, 1.0], (6, 1))
+        hard = rng.normal(size=(6, 2)) * np.array([1e3, 1e-3])
+        info = batched_geometric_median(
+            np.stack([easy, hard]), tol=1e-12, max_iter=300, return_info=True
+        )
+        assert info.iterations[0] < info.iterations[1]
+
+    def test_matches_scalar_iteration_counts_roughly(self, rng):
+        pts = rng.normal(size=(5, 7, 4))
+        info = batched_geometric_median(
+            pts, tol=1e-10, max_iter=400, return_info=True
+        )
+        for k in range(5):
+            scalar = geometric_median(
+                pts[k], tol=1e-10, max_iter=400, return_info=True
+            )
+            np.testing.assert_allclose(info.points[k], scalar.point, atol=1e-7)
+            assert info.converged[k] == scalar.converged
+
+    def test_weights_shared_and_per_set(self, rng):
+        pts = rng.normal(size=(4, 6, 3))
+        w = rng.uniform(0.5, 2.0, size=6)
+        shared = batched_geometric_median(pts, weights=w, tol=1e-10, max_iter=400)
+        per_set = batched_geometric_median(
+            pts, weights=np.tile(w, (4, 1)), tol=1e-10, max_iter=400
+        )
+        assert np.array_equal(shared, per_set)
+        for k in range(4):
+            scalar = geometric_median(pts[k], weights=w, tol=1e-10, max_iter=400)
+            np.testing.assert_allclose(shared[k], scalar, atol=1e-7)
+
+    def test_validation_errors(self, rng):
+        pts = rng.normal(size=(3, 4, 2))
+        with pytest.raises(ValueError):
+            batched_geometric_median(pts[0])  # not 3-D
+        with pytest.raises(ValueError):
+            batched_geometric_median(pts, tol=0.0)
+        with pytest.raises(ValueError):
+            batched_geometric_median(pts, max_iter=0)
+        with pytest.raises(ValueError):
+            batched_geometric_median(pts, weights=-np.ones(4))
+        with pytest.raises(ValueError):
+            batched_geometric_median(pts, weights=np.zeros(4))
+        with pytest.raises(ValueError):
+            batched_geometric_median(pts, initial=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            batched_geometric_median(pts, pairwise=np.zeros((3, 2, 2)))
+
+    def test_single_point_sets(self, rng):
+        pts = rng.normal(size=(5, 1, 3))
+        info = batched_geometric_median(pts, return_info=True)
+        assert np.array_equal(info.points, pts[:, 0, :])
+        assert info.converged.all()
+        assert np.array_equal(info.iterations, np.zeros(5, dtype=np.int64))
+
+
+class TestContextSubsetCaches:
+    def test_artifacts_are_memoised_objects(self, gaussian_cloud):
+        ctx = AggregationContext(gaussian_cloud)
+        assert ctx.subset_indices(8) is ctx.subset_indices(8)
+        assert ctx.subset_diameters(8) is ctx.subset_diameters(8)
+        assert ctx.subset_means(8) is ctx.subset_means(8)
+        medians = ctx.subset_geometric_medians(8, tol=1e-8, max_iter=100)
+        assert medians is ctx.subset_geometric_medians(8, tol=1e-8, max_iter=100)
+        # Different solver settings are cached separately.
+        assert medians is not ctx.subset_geometric_medians(8, tol=1e-6, max_iter=100)
+
+    def test_artifacts_match_kernels(self, gaussian_cloud):
+        ctx = AggregationContext(gaussian_cloud)
+        idx = subset_index_matrix(10, 7)
+        assert np.array_equal(ctx.subset_indices(7), idx)
+        dist = pairwise_distances(gaussian_cloud)
+        assert np.array_equal(ctx.subset_diameters(7), subset_diameters(dist, idx))
+        assert np.array_equal(ctx.subset_means(7), subset_means(gaussian_cloud, idx))
+        np.testing.assert_allclose(
+            ctx.subset_geometric_medians(7),
+            subset_geometric_medians(gaussian_cloud, idx, dist=dist),
+            atol=1e-12,
+        )
+
+    def test_subset_cache_counters(self, gaussian_cloud):
+        reset_cache_stats()
+        try:
+            ctx = AggregationContext(gaussian_cloud)
+            ctx.subset_diameters(8)  # misses: indices + diameters
+            ctx.subset_diameters(8)  # hit
+            ctx.subset_means(8)  # miss (indices now hit)
+            stats = cache_stats()
+            assert stats["subset_misses"] == 3
+            assert stats["subset_hits"] == 2
+            assert 0.0 < subset_cache_hit_rate() < 1.0
+        finally:
+            reset_cache_stats()
+
+    def test_subset_size_validation(self, gaussian_cloud):
+        ctx = AggregationContext(gaussian_cloud)
+        with pytest.raises(ValueError):
+            ctx.subset_indices(0)
+        with pytest.raises(ValueError):
+            ctx.subset_means(11)
+
+
+class TestRuleLevelEquivalence:
+    """BOX/MD rules through the batched path match the scalar references."""
+
+    def _received(self, rng):
+        honest = rng.normal(0.0, 1.0, size=(8, 4))
+        byz = rng.normal(0.0, 1.0, size=(2, 4)) + 20.0
+        return np.vstack([honest, byz])
+
+    def test_box_mean_exact_vs_looped_reference(self, rng):
+        from repro.aggregation.hyperbox_rules import HyperboxMean
+        from repro.linalg.hyperbox import bounding_hyperbox
+
+        received = self._received(rng)
+        rule = HyperboxMean(n=10, t=2)
+        out = rule.aggregate(received)
+        # Pre-batching reference: per-tuple loop over subset means.
+        aggs = looped_means(received, 8)
+        reference = rule.trusted_hyperbox(received).intersect(
+            bounding_hyperbox(aggs)
+        )
+        assert np.array_equal(out, reference.midpoint())
+
+    def test_box_geom_matches_looped_reference_within_tol(self, rng):
+        from repro.aggregation.hyperbox_rules import HyperboxGeometricMedian
+        from repro.linalg.hyperbox import bounding_hyperbox
+
+        received = self._received(rng)
+        rule = HyperboxGeometricMedian(n=10, t=2, tol=1e-10, max_iter=500)
+        out = rule.aggregate(received)
+        aggs = looped_medians(received, 8, tol=1e-10, max_iter=500)
+        reference = rule.trusted_hyperbox(received).intersect(
+            bounding_hyperbox(aggs)
+        )
+        np.testing.assert_allclose(out, reference.midpoint(), atol=1e-7)
+
+    def test_md_rules_select_brute_force_subset(self, rng):
+        from repro.aggregation.mda import (
+            MinimumDiameterGeometricMedian,
+            MinimumDiameterMean,
+        )
+        from repro.linalg.distances import diameter
+
+        received = self._received(rng)
+        brute = min(
+            combinations(range(10), 8),
+            key=lambda s: (diameter(received[list(s)]), s),
+        )
+        for rule in (
+            MinimumDiameterMean(n=10, t=2),
+            MinimumDiameterGeometricMedian(n=10, t=2),
+        ):
+            idx, diam = rule.minimum_diameter_set(
+                received, context=AggregationContext(received)
+            )
+            assert idx == brute
+            assert diam == pytest.approx(diameter(received[list(brute)]))
+
+    def test_md_mean_output_exact(self, rng):
+        from repro.aggregation.mda import MinimumDiameterMean
+
+        received = self._received(rng)
+        rule = MinimumDiameterMean(n=10, t=2)
+        out = rule.aggregate(received)
+        idx, _ = rule.minimum_diameter_set(received)
+        assert np.array_equal(out, received[list(idx)].mean(axis=0))
+
+    def test_chunked_rules_match_unchunked(self, rng):
+        from repro.aggregation.hyperbox_rules import HyperboxGeometricMedian
+        from repro.aggregation.mda import MinimumDiameterMean
+
+        received = self._received(rng)
+        box = HyperboxGeometricMedian(n=10, t=2)
+        box_chunked = HyperboxGeometricMedian(n=10, t=2, chunk_size=3)
+        assert np.array_equal(box.aggregate(received), box_chunked.aggregate(received))
+        md = MinimumDiameterMean(n=10, t=2)
+        md_chunked = MinimumDiameterMean(n=10, t=2, chunk_size=5)
+        assert np.array_equal(md.aggregate(received), md_chunked.aggregate(received))
+
+    def test_aggregate_hyperbox_rejects_mismatched_context(self, rng):
+        from repro.aggregation.hyperbox_rules import HyperboxMean
+
+        received = self._received(rng)
+        other = rng.normal(size=(6, 4))
+        rule = HyperboxMean(n=10, t=2)
+        with pytest.raises(ValueError):
+            rule.aggregate_hyperbox(other, context=AggregationContext(received))
+        with pytest.raises(ValueError):
+            rule.decision_hyperbox(other, context=AggregationContext(received))
+
+    def test_sampled_family_respects_row_contract(self, rng):
+        received = self._received(rng)
+        family = subset_family(received, 8, max_subsets=5, rng=rng)
+        assert 5 <= family.shape[0] <= 7
+        family_capped = subset_family(
+            received, 8, max_subsets=5, rng=rng, include_full_range_extremes=False
+        )
+        assert family_capped.shape[0] == 5

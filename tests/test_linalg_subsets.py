@@ -67,6 +67,29 @@ class TestSampleSubsets:
         with pytest.raises(ValueError):
             sample_subsets(5, 3, -1, rng=rng)
 
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exact_count_at_high_count_total_ratio(self, seed):
+        # Regression: the unique-rejection loop used to exhaust its
+        # attempt budget near count == total and silently return fewer
+        # subsets.  The deterministic enumeration top-up now guarantees
+        # exactly `count` distinct subsets whenever count <= C(m, k).
+        rng = np.random.default_rng(seed)
+        total = comb(8, 4)
+        picks = sample_subsets(8, 4, total - 1, rng=rng)
+        assert len(picks) == total - 1
+        assert len(set(picks)) == total - 1
+
+    def test_top_up_fills_when_attempts_exhausted(self, rng):
+        # Force the rejection loop to give up immediately: every subset
+        # must come from the deterministic enumeration top-up.
+        picks = sample_subsets(10, 8, 7, rng=rng, max_attempts=0)
+        assert picks == list(enumerate_subsets(10, 8))[:7]
+
+    def test_top_up_respects_already_sampled(self, rng):
+        picks = sample_subsets(6, 3, 19, rng=rng, max_attempts=5)
+        assert len(picks) == 19
+        assert len(set(picks)) == 19
+
 
 class TestSubsetAggregates:
     def test_exhaustive_mean(self, gaussian_cloud):
@@ -82,8 +105,22 @@ class TestSubsetAggregates:
         out = subset_aggregates(
             gaussian_cloud, 8, lambda rows: rows.mean(axis=0), max_subsets=5, rng=rng
         )
-        # 5 sampled + up to 2 anchored extremes.
-        assert 5 <= out.shape[0] <= 7
+        # Documented row-count contract: max_subsets sampled rows plus up
+        # to 2 anchored extremes when include_full_range_extremes=True.
+        assert 5 <= out.shape[0] <= 5 + 2
+
+    def test_sampling_hard_cap_without_extremes(self, gaussian_cloud, rng):
+        out = subset_aggregates(
+            gaussian_cloud,
+            8,
+            lambda rows: rows.mean(axis=0),
+            max_subsets=5,
+            rng=rng,
+            include_full_range_extremes=False,
+        )
+        # Contract: disabling the anchored extremes makes max_subsets a
+        # hard cap on the number of returned rows.
+        assert out.shape[0] == 5
 
     def test_aggregates_inside_bounding_box(self, gaussian_cloud):
         out = subset_aggregates(gaussian_cloud, 8, lambda rows: rows.mean(axis=0))

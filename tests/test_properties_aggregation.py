@@ -154,7 +154,10 @@ def test_shared_context_computes_distances_once():
         aggregate_all(rules, vectors)
         stats = cache_stats()
         assert stats["misses"] == 1  # one GEMM for the whole round
-        assert stats["hits"] >= len(rules) - 1
+        # Every other rule is served from a shared cache: either the
+        # distance matrices directly, or (for the subset-quantified MD
+        # rules) the per-round subset artifacts derived from them.
+        assert stats["hits"] + stats["subset_hits"] >= len(rules) - 1
     finally:
         reset_cache_stats()
 
