@@ -1,0 +1,172 @@
+"""ROUND-ENGINE — scheduler throughput of the pluggable round engine.
+
+Not a figure of the paper; the smoke benchmark for :mod:`repro.engine`.
+It drives the same mean-update agreement exchange through every
+scheduler (synchronous lock-step, partially synchronous delays, lossy
+drops + a crash window) and reports rounds/sec plus the delivery
+counters, so CI can track the engine's overhead trajectory the same way
+``bench_subset_kernels.py`` tracks the kernel layer.
+
+Running it writes a ``BENCH_round_engine.json`` artifact (one row per
+scheduler and size):
+
+    PYTHONPATH=src python benchmarks/bench_round_engine.py --smoke
+
+or through pytest:
+
+    pytest benchmarks/bench_round_engine.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+try:
+    from _harness import print_report, scaled
+except ImportError:  # pragma: no cover - direct script execution
+    sys.path.insert(0, __file__.rsplit("/", 1)[0])
+    from _harness import print_report, scaled
+
+from repro.engine import make_scheduler, run_exchange
+
+#: Scheduler configurations benchmarked against each other.
+SCHEDULER_CASES = [
+    {"scheduler": "synchronous", "kwargs": {}},
+    {"scheduler": "partial", "kwargs": {"delay": 2}},
+    {"scheduler": "lossy", "kwargs": {"drop_rate": 0.1}},
+    {"scheduler": "lossy", "kwargs": {"drop_rate": 0.1, "crash_schedule": ((1, 5, 15),)}},
+]
+
+
+def _case_label(case: Dict[str, object]) -> str:
+    knobs = ",".join(f"{k}={v}" for k, v in sorted(case["kwargs"].items()))
+    return case["scheduler"] + (f"({knobs})" if knobs else "")
+
+
+def measure_case(
+    scheduler: str, kwargs: Dict[str, object], *, n: int, d: int, rounds: int, seed: int = 0
+) -> Dict[str, object]:
+    """Time ``rounds`` mean-update exchange rounds on one scheduler."""
+    engine = make_scheduler(scheduler, n, seed=seed, keep_history=False, **kwargs)
+    engine.require_quorum(1, policy="starve")
+    rng = np.random.default_rng(seed)
+    initial = {i: rng.normal(size=d) for i in range(n)}
+
+    start = time.perf_counter()
+    final = run_exchange(engine, initial, rounds, lambda _n, received: received.mean(axis=0))
+    seconds = time.perf_counter() - start
+
+    assert len(final) == n, "every node must come out of the exchange"
+    return {
+        "scheduler": scheduler,
+        "kwargs": {k: list(map(list, v)) if k == "crash_schedule" else v
+                   for k, v in kwargs.items()},
+        "label": _case_label({"scheduler": scheduler, "kwargs": kwargs}),
+        "n": n,
+        "d": d,
+        "rounds": rounds,
+        "seconds": seconds,
+        "rounds_per_sec": rounds / seconds if seconds > 0 else float("inf"),
+        "stats": engine.stats_snapshot(),
+    }
+
+
+def run_trajectory(smoke: bool = False) -> Dict[str, object]:
+    """Measure every scheduler at one (smoke) or two sizes."""
+    if smoke:
+        sizes = [(10, 64, 200)]
+    else:
+        sizes = [(10, 64, scaled(500, 2000)), (25, 256, scaled(200, 1000))]
+    # Warm up BLAS / allocator before timing anything.
+    measure_case("synchronous", {}, n=4, d=8, rounds=10)
+    rows: List[Dict[str, object]] = [
+        measure_case(case["scheduler"], dict(case["kwargs"]), n=n, d=d, rounds=rounds)
+        for (n, d, rounds) in sizes
+        for case in SCHEDULER_CASES
+    ]
+    return {
+        "benchmark": "round_engine",
+        "created_unix": time.time(),
+        "smoke": smoke,
+        "cases": rows,
+    }
+
+
+def render_report(payload: Dict[str, object]) -> str:
+    lines = [
+        f"{'scheduler':<38} {'n':>4} {'d':>5} {'rounds':>7} "
+        f"{'rounds/s':>9} {'delivered':>10} {'dropped':>8} {'delayed':>8}"
+    ]
+    for row in payload["cases"]:
+        stats = row["stats"]
+        lines.append(
+            f"{row['label']:<38} {row['n']:>4} {row['d']:>5} {row['rounds']:>7} "
+            f"{row['rounds_per_sec']:>9.1f} {stats['delivered']:>10} "
+            f"{stats['dropped'] + stats['crash_omitted']:>8} {stats['delayed']:>8}"
+        )
+    return "\n".join(lines)
+
+
+def check_sanity(payload: Dict[str, object]) -> None:
+    """Every scheduler must make progress and account for its messages."""
+    for row in payload["cases"]:
+        assert row["rounds_per_sec"] > 0, f"{row['label']} made no progress"
+        stats = row["stats"]
+        assert stats["delivered"] > 0, f"{row['label']} delivered nothing"
+        accounted = stats["delivered"] + stats["dropped"] + stats["crash_omitted"]
+        assert accounted <= stats["sent"] + stats["delayed"], (
+            f"{row['label']} counters do not add up: {stats}"
+        )
+
+
+def write_artifact(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_round_engine_throughput():
+    """Pytest entry: trajectory + sanity checks + JSON artifact."""
+    payload = run_trajectory(smoke=False)
+    print_report(
+        "ROUND-ENGINE",
+        "rounds/sec per scheduler (mean-update exchange)",
+        render_report(payload),
+    )
+    write_artifact(payload, "BENCH_round_engine.json")
+    check_sanity(payload)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single small size per scheduler (CI mode)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_round_engine.json",
+        help="path of the JSON trajectory artifact",
+    )
+    args = parser.parse_args(argv)
+    payload = run_trajectory(smoke=args.smoke)
+    print_report(
+        "ROUND-ENGINE",
+        "rounds/sec per scheduler (mean-update exchange)",
+        render_report(payload),
+    )
+    write_artifact(payload, args.output)
+    print(f"wrote {args.output}")
+    check_sanity(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,10 +10,11 @@ import numpy as np
 
 from repro.aggregation.base import AggregationRule
 from repro.aggregation.context import AggregationContext
-from repro.byzantine.base import AttackContext, GradientAttack
+from repro.byzantine.base import GradientAttack
+from repro.engine.base import RoundEngine
+from repro.engine.rounds import attack_adversary_plan, run_exchange
+from repro.engine.synchronous import SynchronousScheduler
 from repro.linalg.distances import diameter
-from repro.network.reliable_broadcast import BroadcastPlan
-from repro.network.synchronous import SynchronousNetwork, full_broadcast_plan
 from repro.utils.rng import as_generator
 from repro.utils.validation import ensure_matrix, validate_byzantine_bound
 
@@ -144,6 +145,12 @@ class AgreementProtocol:
         crash (stay silent), the weakest fault the algorithms tolerate.
     seed:
         Seed for the adversary's random generator.
+    engine:
+        Round engine supplying the timing model.  Defaults to a
+        lock-step :class:`~repro.engine.synchronous.SynchronousScheduler`
+        (the paper's setting).  Under a lossy or partially synchronous
+        engine, nodes starved below the ``n - t`` quorum keep their
+        current vector for the round instead of aborting the run.
     """
 
     def __init__(
@@ -153,6 +160,7 @@ class AgreementProtocol:
         attack: Optional[GradientAttack] = None,
         *,
         seed: int | None = 0,
+        engine: Optional[RoundEngine] = None,
     ) -> None:
         self.algorithm = algorithm
         byz = tuple(sorted(int(b) for b in byzantine))
@@ -165,8 +173,24 @@ class AgreementProtocol:
         self.byzantine = byz
         self.attack = attack
         self._rng = as_generator(seed)
-        self.network = SynchronousNetwork(algorithm.n, byz)
-        self.network.require_quorum(algorithm.minimum_messages())
+        if engine is None:
+            engine = SynchronousScheduler(algorithm.n, byz)
+        if engine.n != algorithm.n:
+            raise ValueError(
+                f"engine is configured for n={engine.n} but the algorithm needs n={algorithm.n}"
+            )
+        if tuple(sorted(engine.byzantine)) != byz:
+            raise ValueError(
+                f"engine byzantine set {sorted(engine.byzantine)} does not match {byz}"
+            )
+        self.engine = engine
+        # Lock-step delivery cannot legitimately starve a node, so a
+        # shortfall is a protocol violation there; under other timing
+        # models it is the scheduler's doing and the node just stalls.
+        policy = "raise" if isinstance(engine, SynchronousScheduler) else "starve"
+        self.engine.require_quorum(algorithm.minimum_messages(), policy=policy)
+        #: Backwards-compatible alias (this used to be a SynchronousNetwork).
+        self.network = self.engine
 
     def run(
         self,
@@ -181,26 +205,35 @@ class AgreementProtocol:
         """
         if rounds < 0:
             raise ValueError("rounds must be non-negative")
-        honest_ids = self.network.honest
+        # Each run is a fresh exchange: drop history and any message
+        # still in flight from a previous run on a delaying scheduler.
+        self.engine.reset()
+        honest_ids = self.engine.honest
         current = self._normalise_inputs(inputs, honest_ids)
         result = AgreementResult(
             initial={i: v.copy() for i, v in current.items()},
             honest_ids=honest_ids,
         )
         byz_own = self._byzantine_own_vectors(current)
-
-        for r in range(rounds):
-            round_result = self.network.run_round(
-                r,
-                honest_plan=lambda node, _r: full_broadcast_plan(node, current[node]),
-                adversary_plan=self._adversary_plan_fn(byz_own),
+        adversary_plan = (
+            attack_adversary_plan(
+                lambda _node: self.attack, byz_own, self._rng,
+                horizon=self.engine.horizon,
             )
-            new_values: Dict[int, np.ndarray] = {}
-            for node in honest_ids:
-                received = round_result.received_matrix(node)
-                new_values[node] = self.algorithm.update(received)
-            current = new_values
-            result.per_round.append({i: v.copy() for i, v in current.items()})
+            if self.byzantine
+            else None
+        )
+
+        run_exchange(
+            self.engine,
+            current,
+            rounds,
+            lambda _node, received: self.algorithm.update(received),
+            adversary_plan,
+            on_round=lambda _r, _res, vectors: result.per_round.append(
+                {i: v.copy() for i, v in vectors.items()}
+            ),
+        )
         return result
 
     # -- helpers -------------------------------------------------------------
@@ -233,28 +266,3 @@ class AgreementProtocol:
             return {}
         base = np.mean(np.stack(list(current.values()), axis=0), axis=0)
         return {b: base.copy() for b in self.byzantine}
-
-    def _adversary_plan_fn(self, byz_own: Dict[int, np.ndarray]):
-        if not self.byzantine:
-            return None
-
-        def plan(node: int, round_index: int, honest_values: Dict[int, np.ndarray]) -> BroadcastPlan:
-            if self.attack is None:
-                return BroadcastPlan(sender=node, payload=None)
-            context = AttackContext(
-                node=node,
-                round_index=round_index,
-                own_vector=byz_own.get(node),
-                honest_vectors=honest_values,
-                rng=self._rng,
-            )
-            payload = self.attack.corrupt(context)
-            recipients = self.attack.recipients(context)
-            return BroadcastPlan(
-                sender=node,
-                payload=None if payload is None else np.asarray(payload, dtype=np.float64),
-                recipients=recipients,
-                metadata={"attack": self.attack.name},
-            )
-
-        return plan

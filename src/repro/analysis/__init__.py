@@ -16,6 +16,7 @@ from repro.analysis.traces import (
 )
 from repro.analysis.reporting import (
     comparison_table,
+    delivery_rate,
     histories_to_records,
     sweep_summary_table,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "TraceSummary",
     "classify_trace",
     "comparison_table",
+    "delivery_rate",
     "histories_to_records",
     "moving_average",
     "relative_gap",

@@ -29,8 +29,23 @@ def histories_to_records(
                 "above_chance": summary.above_chance,
             }
         )
+        if history.network_stats:
+            record["network_stats"] = dict(history.network_stats)
+            record["delivery_rate"] = delivery_rate(history.network_stats)
         records.append(record)
     return records
+
+
+def delivery_rate(stats: Mapping[str, object]) -> float:
+    """Fraction of sent messages that were eventually delivered.
+
+    ``stats`` is a round engine's counter mapping (``sent`` /
+    ``delivered`` / ...).  Returns ``nan`` when nothing was sent.
+    """
+    sent = float(stats.get("sent", 0) or 0)
+    if sent <= 0:
+        return float("nan")
+    return float(stats.get("delivered", 0) or 0) / sent
 
 
 def comparison_table(
@@ -77,8 +92,15 @@ def sweep_summary_table(rows: Sequence[Mapping[str, object]]) -> str:
         name: max(len(name), *(len(str(row["axes"].get(name, ""))) for row in rows))
         for name in axis_names
     }
+    # Cells run on lossy / partially synchronous schedulers carry their
+    # delivery counters; surface the delivery rate when any cell has one.
+    with_network = any(
+        isinstance(row.get("summary", {}).get("network"), dict) for row in rows
+    )
     header = " ".join(f"{name:<{widths[name]}s}" for name in axis_names)
     header += f" {'final':>7s} {'best':>7s} {'rounds':>7s}"
+    if with_network:
+        header += f" {'deliv%':>7s}"
     lines = [header, "-" * len(header)]
     from repro.io.results import metric_from_json
 
@@ -87,9 +109,16 @@ def sweep_summary_table(rows: Sequence[Mapping[str, object]]) -> str:
         cols = " ".join(
             f"{str(row['axes'].get(name, '')):<{widths[name]}s}" for name in axis_names
         )
-        lines.append(
+        line = (
             f"{cols} {metric_from_json(summary.get('final_accuracy')):>7.3f} "
             f"{metric_from_json(summary.get('best_accuracy')):>7.3f} "
             f"{int(summary.get('rounds', 0)):>7d}"
         )
+        if with_network:
+            network = summary.get("network")
+            if isinstance(network, dict):
+                line += f" {100.0 * delivery_rate(network):>6.1f}%"
+            else:
+                line += f" {'-':>7s}"
+        lines.append(line)
     return "\n".join(lines)

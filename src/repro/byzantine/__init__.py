@@ -13,7 +13,11 @@ Attacks come in two flavours:
 
 Every gradient attack can additionally restrict the recipients of its
 broadcast (selective omission), which is the extra power the adversary
-uses in the Lemma 4.2 non-convergence construction.
+uses in the Lemma 4.2 non-convergence construction.  Under schedulers
+with a nonzero delivery horizon (see :mod:`repro.engine`) attacks may
+also shape *when* their messages arrive via :meth:`GradientAttack.
+send_delays` — the timing attacks in :mod:`repro.byzantine.timing`
+(withhold-then-rush, selective delay) are built on that hook.
 """
 
 from repro.byzantine.base import AttackContext, GradientAttack
@@ -24,6 +28,7 @@ from repro.byzantine.magnitude import MagnitudeAttack
 from repro.byzantine.omniscient import OppositeOfMeanAttack
 from repro.byzantine.label_flip import LabelFlipAttack, flip_labels
 from repro.byzantine.partition import PartitionAttack
+from repro.byzantine.timing import SelectiveDelayAttack, WithholdThenRushAttack
 from repro.byzantine.registry import available_attacks, make_attack, register_attack
 
 __all__ = [
@@ -36,7 +41,9 @@ __all__ = [
     "OppositeOfMeanAttack",
     "PartitionAttack",
     "RandomVectorAttack",
+    "SelectiveDelayAttack",
     "SignFlipAttack",
+    "WithholdThenRushAttack",
     "available_attacks",
     "flip_labels",
     "make_attack",

@@ -31,6 +31,11 @@ class AttackContext:
     rng:
         Generator dedicated to the adversary, so attack randomness does
         not perturb the honest nodes' streams.
+    horizon:
+        The scheduler's delivery horizon: the largest number of rounds a
+        message may lag behind its send round.  ``0`` under the
+        synchronous scheduler — timing attacks inspect this to know how
+        much slack the network gives them.
     """
 
     node: int
@@ -38,6 +43,7 @@ class AttackContext:
     own_vector: Optional[np.ndarray]
     honest_vectors: Dict[int, np.ndarray] = field(default_factory=dict)
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+    horizon: int = 0
 
     @property
     def dimension(self) -> int:
@@ -78,6 +84,17 @@ class GradientAttack(abc.ABC):
 
     def recipients(self, context: AttackContext) -> Optional[frozenset[int]]:
         """Which nodes deliver the Byzantine message (``None`` = all)."""
+        return None
+
+    def send_delays(self, context: AttackContext) -> Optional[Dict[int, int]]:
+        """Per-receiver extra rounds to hold this message back.
+
+        ``None`` (default) leaves timing to the scheduler.  Only honoured
+        by schedulers with a nonzero delivery horizon
+        (``context.horizon``); requested lags are capped there.  This is
+        the hook timing attacks (withhold-then-rush, selective delay)
+        use to turn asynchrony into adversarial power.
+        """
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

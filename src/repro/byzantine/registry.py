@@ -11,6 +11,7 @@ from repro.byzantine.magnitude import MagnitudeAttack
 from repro.byzantine.omniscient import OppositeOfMeanAttack
 from repro.byzantine.random_noise import GaussianNoiseAttack, RandomVectorAttack
 from repro.byzantine.sign_flip import SignFlipAttack
+from repro.byzantine.timing import SelectiveDelayAttack, WithholdThenRushAttack
 
 _REGISTRY: Dict[str, Type[GradientAttack]] = {}
 
@@ -46,5 +47,7 @@ for _name, _cls in [
     ("magnitude", MagnitudeAttack),
     ("opposite-mean", OppositeOfMeanAttack),
     ("label-flip", LabelFlipAttack),
+    ("withhold-rush", WithholdThenRushAttack),
+    ("selective-delay", SelectiveDelayAttack),
 ]:
     register_attack(_name, _cls)

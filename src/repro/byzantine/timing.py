@@ -1,0 +1,95 @@
+"""Timing-based attacks: adversaries that exploit the scheduler.
+
+Under the synchronous scheduler the adversary's only temporal freedom is
+selective omission.  Once the round engine models delays
+(:class:`~repro.engine.partial.PartiallySynchronousScheduler`) the
+classical asynchronous attacks become expressible:
+
+- :class:`WithholdThenRushAttack` — stay silent while honest nodes
+  spread their values, then inject an outlier in the late rounds of the
+  exchange, when fewer rounds remain to contract it away;
+- :class:`SelectiveDelayAttack` — send a corrupted value *now* to half
+  the honest nodes and maximally delayed to the other half, so the two
+  halves apply the Byzantine pull in different rounds and their views
+  are driven apart.
+
+Both degrade gracefully under the synchronous scheduler (where
+``context.horizon == 0``): withhold-then-rush reduces to a crash-then-
+sign-flip pattern, selective delay to a plain sign flip.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.byzantine.base import AttackContext, GradientAttack
+
+
+def _honest_mean(context: AttackContext) -> np.ndarray:
+    return context.honest_matrix().mean(axis=0)
+
+
+class WithholdThenRushAttack(GradientAttack):
+    """Silence for the opening rounds, then rush an amplified outlier.
+
+    Parameters
+    ----------
+    withhold_rounds:
+        Sub-rounds at the start of every exchange during which the node
+        sends nothing (it still observes the honest values).
+    scale:
+        Magnitude of the late injection: the attack broadcasts
+        ``-scale * mean(honest values)``.
+    """
+
+    name = "withhold-rush"
+
+    def __init__(self, withhold_rounds: int = 1, scale: float = 4.0) -> None:
+        if withhold_rounds < 0:
+            raise ValueError(f"withhold_rounds must be non-negative, got {withhold_rounds}")
+        self.withhold_rounds = int(withhold_rounds)
+        self.scale = float(scale)
+
+    def corrupt(self, context: AttackContext) -> Optional[np.ndarray]:
+        if context.round_index < self.withhold_rounds:
+            return None
+        if not context.honest_vectors:
+            return None
+        return -self.scale * _honest_mean(context)
+
+
+class SelectiveDelayAttack(GradientAttack):
+    """Split honest views by delivering a corrupted value at two times.
+
+    The higher-id half of the honest nodes receives the message delayed
+    by ``min(delay, horizon)`` rounds; the lower half immediately.  With
+    ``horizon == 0`` (synchronous scheduler) every delivery is immediate
+    and the attack reduces to its payload, a sign-flipped honest mean.
+    """
+
+    name = "selective-delay"
+
+    def __init__(self, delay: int = 1, scale: float = 1.0) -> None:
+        if delay < 1:
+            raise ValueError(f"delay must be positive, got {delay}")
+        self.delay = int(delay)
+        self.scale = float(scale)
+
+    def corrupt(self, context: AttackContext) -> Optional[np.ndarray]:
+        if not context.honest_vectors:
+            return None
+        return -self.scale * _honest_mean(context)
+
+    def send_delays(self, context: AttackContext) -> Optional[Dict[int, int]]:
+        lag = min(self.delay, context.horizon)
+        if lag <= 0:
+            return None
+        honest = sorted(context.honest_vectors)
+        half = len(honest) // 2
+        # Pin both halves: lag 0 keeps the early half out of the
+        # scheduler's own delay lottery, so the two-time split is exact.
+        delays = {node: 0 for node in honest[:half]}
+        delays.update({node: lag for node in honest[half:]})
+        return delays

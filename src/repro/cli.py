@@ -36,6 +36,7 @@ from repro.aggregation.registry import available_rules
 from repro.agreement.registry import available_algorithms
 from repro.analysis.reporting import comparison_table, sweep_summary_table
 from repro.byzantine.registry import available_attacks
+from repro.engine import SCHEDULER_NAMES
 from repro.io.results import metric_from_json, save_histories
 from repro.learning.experiment import ExperimentConfig, run_experiment
 from repro.learning.history import TrainingHistory
@@ -54,6 +55,12 @@ def _experiment_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--batch-size", type=int, default=16)
     parser.add_argument("--learning-rate", type=float, default=0.05)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="synchronous",
+                        help="timing model of the communication rounds (see docs/architecture.md)")
+    parser.add_argument("--delay", type=int, default=0,
+                        help="delivery horizon in rounds (scheduler=partial only)")
+    parser.add_argument("--drop-rate", type=float, default=0.0,
+                        help="per-link message loss probability (scheduler=lossy only)")
     parser.add_argument("--save", type=str, default=None, help="write the histories to this JSON file")
 
 
@@ -74,6 +81,9 @@ def _build_config(args: argparse.Namespace, aggregation: str) -> ExperimentConfi
         learning_rate=args.learning_rate,
         mlp_hidden=(32, 16),
         seed=args.seed,
+        scheduler=args.scheduler,
+        delay=args.delay,
+        drop_rate=args.drop_rate,
     )
 
 
@@ -83,6 +93,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     trace = "  ".join(f"{acc:.3f}" for acc in history.accuracies())
     print(f"accuracy per round: {trace}")
     print(f"final accuracy: {history.final_accuracy():.3f}  best: {history.best_accuracy():.3f}")
+    if history.network_stats:
+        counters = "  ".join(f"{k}={v}" for k, v in sorted(history.network_stats.items()))
+        print(f"network delivery: {counters}")
     if args.save:
         path = save_histories({args.aggregation: history}, args.save)
         print(f"history written to {path}")

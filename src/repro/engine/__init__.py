@@ -1,0 +1,113 @@
+"""Scheduler-pluggable round engine.
+
+The paper specifies lock-step rounds; this package makes that timing
+model one pluggable axis instead of a hard-coded assumption.  A
+:class:`RoundEngine` turns per-node broadcast plans into per-node
+inboxes; the scheduler decides *when* (and whether) each link delivers:
+
+========================================  =================================
+Scheduler                                  Timing model
+========================================  =================================
+:class:`SynchronousScheduler`              lock-step (the paper; bitwise-
+                                           identical to the historical
+                                           ``SynchronousNetwork``)
+:class:`PartiallySynchronousScheduler`     per-link random delays bounded
+                                           by a delivery horizon
+:class:`LossyScheduler`                    seeded per-link loss plus
+                                           transient crash windows
+========================================  =================================
+
+Agreement, centralized and decentralized learning all run on this one
+engine (see :func:`repro.engine.rounds.run_exchange`); experiment
+configurations select a scheduler by name through
+:func:`make_scheduler`, which is what the ``scheduler`` / ``delay`` /
+``drop_rate`` / ``crash_schedule`` sweep axes feed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.engine.base import RoundEngine
+from repro.engine.lossy import LossyScheduler, normalise_crash_schedule
+from repro.engine.partial import PartiallySynchronousScheduler
+from repro.engine.rounds import attack_adversary_plan, run_exchange
+from repro.engine.synchronous import SynchronousScheduler
+from repro.utils.rng import SeedLike
+
+#: Scheduler names accepted by :func:`make_scheduler` (and the
+#: ``ExperimentConfig.scheduler`` field / sweep axis).
+SCHEDULER_NAMES = ("synchronous", "partial", "lossy")
+
+
+def make_scheduler(
+    name: str,
+    n: int,
+    byzantine: Iterable[int] = (),
+    *,
+    delay: int = 0,
+    delay_prob: float = 0.5,
+    drop_rate: float = 0.0,
+    crash_schedule: Iterable[Sequence[int]] = (),
+    seed: SeedLike = 0,
+    keep_history: bool = True,
+    max_history: Optional[int] = None,
+    require_full_broadcast: bool = True,
+) -> RoundEngine:
+    """Instantiate a scheduler by name.
+
+    ``delay`` is the delivery horizon of the partially synchronous
+    scheduler (required >= 1 there, meaningless elsewhere);
+    ``drop_rate`` and ``crash_schedule`` configure the lossy scheduler.
+    Passing a knob to a scheduler that cannot honour it is an error —
+    a sweep axis that silently did nothing would corrupt conclusions.
+    ``require_full_broadcast=False`` builds the engine in star mode
+    (honest senders may address a single receiver — the centralized
+    trainer's client -> server exchange).
+    """
+    key = str(name).strip().lower()
+    common = dict(
+        keep_history=keep_history,
+        max_history=max_history,
+        require_full_broadcast=require_full_broadcast,
+    )
+    if key == "synchronous":
+        if delay or drop_rate or tuple(crash_schedule):
+            raise ValueError(
+                "the synchronous scheduler takes no delay/drop_rate/crash_schedule"
+            )
+        return SynchronousScheduler(n, byzantine, **common)
+    if key == "partial":
+        if drop_rate or tuple(crash_schedule):
+            raise ValueError(
+                "the partial scheduler models delays; use scheduler='lossy' "
+                "for drop_rate/crash_schedule"
+            )
+        if delay < 1:
+            raise ValueError("scheduler='partial' needs a delivery horizon delay >= 1")
+        return PartiallySynchronousScheduler(
+            n, byzantine, max_delay=delay, delay_prob=delay_prob, seed=seed, **common
+        )
+    if key == "lossy":
+        if delay:
+            raise ValueError(
+                "the lossy scheduler models loss/crashes; use scheduler='partial' for delays"
+            )
+        return LossyScheduler(
+            n, byzantine, drop_rate=drop_rate, crash_schedule=crash_schedule,
+            seed=seed, **common,
+        )
+    raise ValueError(f"unknown scheduler {name!r}; available: {SCHEDULER_NAMES}")
+
+
+__all__ = [
+    "LossyScheduler",
+    "PartiallySynchronousScheduler",
+    "RoundEngine",
+    "SCHEDULER_NAMES",
+    "SynchronousScheduler",
+    "attack_adversary_plan",
+    "make_scheduler",
+    "normalise_crash_schedule",
+    "run_exchange",
+]

@@ -1,0 +1,214 @@
+"""The :class:`RoundEngine` protocol every scheduler implements.
+
+A round engine owns the *timing model* of a multi-round protocol: per
+round it collects one :class:`~repro.network.reliable_broadcast.BroadcastPlan`
+per node, decides which (sender, receiver) links deliver *now* and which
+deliver later (or never), and hands each node its inbox as a
+:class:`~repro.network.delivery.RoundResult`.  Consumers — the agreement
+protocol, both trainers — submit plans and consume inboxes; they never
+reimplement delivery.
+
+Concrete schedulers:
+
+- :class:`~repro.engine.synchronous.SynchronousScheduler` — lock-step
+  delivery, bitwise-identical to the original ``SynchronousNetwork``;
+- :class:`~repro.engine.partial.PartiallySynchronousScheduler` —
+  per-link random delays bounded by a delivery horizon;
+- :class:`~repro.engine.lossy.LossyScheduler` — seeded per-link message
+  loss plus transient crash/recovery windows.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.network.delivery import (
+    AdversaryPlanFn,
+    HonestPlanFn,
+    RoundResult,
+    collect_plans,
+    enforce_quorum,
+)
+from repro.network.message import Message
+from repro.network.reliable_broadcast import BroadcastPlan, ReliableBroadcast
+
+
+class RoundEngine(abc.ABC):
+    """Scheduler-pluggable round executor for ``n`` nodes.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    byzantine:
+        Ids of Byzantine nodes.
+    keep_history:
+        Whether completed :class:`RoundResult` objects (with their full
+        inboxes) are retained on :attr:`history`.  Trainers run thousands
+        of rounds and disable this; interactive / test use keeps it on.
+    max_history:
+        Upper bound on retained round results (oldest dropped first);
+        ``None`` means unbounded.
+    require_full_broadcast:
+        Forwarded to :class:`ReliableBroadcast`: ``True`` (default)
+        enforces the agreement protocols' full-broadcast contract on
+        honest senders; ``False`` admits star-shaped exchanges where an
+        honest plan addresses a single receiver.
+    """
+
+    #: Extra rounds a message may lag behind its send round (0 = lock-step).
+    horizon: int = 0
+    #: Whether this scheduler produces delivery statistics worth reporting.
+    records_stats: bool = False
+
+    def __init__(
+        self,
+        n: int,
+        byzantine: Iterable[int] = (),
+        *,
+        keep_history: bool = True,
+        max_history: Optional[int] = None,
+        require_full_broadcast: bool = True,
+    ) -> None:
+        self.broadcast = ReliableBroadcast(
+            n, byzantine, require_full_broadcast=require_full_broadcast
+        )
+        self.n = self.broadcast.n
+        self.byzantine = self.broadcast.byzantine
+        self.honest = tuple(sorted(set(range(self.n)) - set(self.byzantine)))
+        self._min_honest_messages = 0
+        self._quorum_policy = "raise"
+        self.keep_history = bool(keep_history)
+        if max_history is not None and max_history < 0:
+            raise ValueError("max_history must be non-negative")
+        self.max_history = max_history
+        self.history: Sequence[RoundResult] = (
+            deque(maxlen=max_history) if max_history is not None else []
+        )
+        self.stats: Dict[str, int] = {
+            "sent": 0, "delivered": 0, "dropped": 0, "delayed": 0, "crash_omitted": 0,
+        }
+        #: Monotone count of rounds this engine has executed, across
+        #: exchanges.  Crash schedules are expressed against this clock,
+        #: so a window covers wall-clock training rounds even when the
+        #: per-exchange ``round_index`` restarts at 0 every iteration.
+        self.rounds_executed = 0
+
+    # -- configuration --------------------------------------------------------
+    def require_quorum(self, quorum: int, *, policy: str = "raise") -> None:
+        """Require every honest node to deliver at least ``quorum`` messages.
+
+        ``policy="raise"`` aborts the round when violated (the
+        synchronous reading, where a shortfall is a protocol bug);
+        ``policy="starve"`` instead marks the short-changed nodes on the
+        :class:`RoundResult` so the protocol can stall them for a round.
+        """
+        if quorum < 0:
+            raise ValueError("quorum must be non-negative")
+        if policy not in ("raise", "starve"):
+            raise ValueError(f"unknown quorum policy {policy!r}")
+        self._min_honest_messages = int(quorum)
+        self._quorum_policy = policy
+
+    # -- execution ------------------------------------------------------------
+    def run_round(
+        self,
+        round_index: int,
+        honest_plan: HonestPlanFn,
+        adversary_plan: Optional[AdversaryPlanFn] = None,
+    ) -> RoundResult:
+        """Collect one plan per node and execute one scheduled round."""
+        plans = collect_plans(
+            self.honest, self.byzantine, round_index, honest_plan, adversary_plan
+        )
+        return self.submit(plans, round_index)
+
+    def submit(self, plans: Sequence[BroadcastPlan], round_index: int) -> RoundResult:
+        """Deliver pre-built plans for one round (the lower-level entry).
+
+        Callers with a non-broadcast round structure (the centralized
+        trainer's star exchange) build their plans directly and submit
+        them here; :meth:`run_round` is the full-broadcast convenience
+        wrapper on top.
+        """
+        inboxes = self._deliver(plans, round_index)
+        self.rounds_executed += 1
+        starved = enforce_quorum(
+            inboxes,
+            self.honest,
+            self._min_honest_messages,
+            round_index,
+            policy=self._quorum_policy,
+        )
+        result = RoundResult(round_index=round_index, inboxes=inboxes, starved=starved)
+        if self.keep_history:
+            self.history.append(result)
+        return result
+
+    @abc.abstractmethod
+    def _deliver(
+        self, plans: Sequence[BroadcastPlan], round_index: int
+    ) -> Dict[int, List[Message]]:
+        """Materialise this round's inboxes (scheduler-specific)."""
+        raise NotImplementedError
+
+    def _validated_messages(
+        self, plans: Sequence[BroadcastPlan], round_index: int
+    ) -> List[Tuple[BroadcastPlan, Message]]:
+        """Validate plans and materialise one message per speaking sender.
+
+        Mirrors the validation of
+        :meth:`~repro.network.reliable_broadcast.ReliableBroadcast.deliver`
+        (range checks, honest senders broadcast to all, one plan per
+        sender) and returns ``(plan, message)`` pairs in sender order —
+        the per-link schedulers decide when each link delivers.
+        """
+        by_sender: Dict[int, BroadcastPlan] = {}
+        for plan in plans:
+            self.broadcast.validate_plan(plan)
+            if plan.sender in by_sender:
+                raise ValueError(
+                    f"sender {plan.sender} submitted two broadcast plans in round {round_index}; "
+                    "reliable broadcast admits at most one message per sender per round"
+                )
+            by_sender[plan.sender] = plan
+        pairs: List[Tuple[BroadcastPlan, Message]] = []
+        for sender in sorted(by_sender):
+            plan = by_sender[sender]
+            if plan.payload is None:
+                continue
+            pairs.append(
+                (
+                    plan,
+                    Message(
+                        sender=sender,
+                        round_index=round_index,
+                        payload=plan.payload,
+                        metadata=dict(plan.metadata),
+                    ),
+                )
+            )
+        return pairs
+
+    # -- lifecycle ------------------------------------------------------------
+    def reset_history(self) -> None:
+        """Drop recorded round results (used between learning iterations)."""
+        self.history.clear()
+
+    def reset(self) -> None:
+        """Start a fresh exchange: drop history and any in-flight state.
+
+        Schedulers holding cross-round state (pending delayed messages,
+        crash bookkeeping) extend this; cumulative :attr:`stats` survive
+        so a whole training run can be summarised.
+        """
+        self.reset_history()
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Copy of the cumulative delivery counters."""
+        return dict(self.stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n={self.n}, byzantine={sorted(self.byzantine)})"

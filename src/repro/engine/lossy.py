@@ -1,0 +1,121 @@
+"""Lossy scheduler: seeded per-link message loss and crash windows.
+
+Two failure modes compose here:
+
+- **loss** — every (sender, receiver) link independently drops the
+  message with probability ``drop_rate`` (seeded, so experiments are
+  reproducible).  Self-delivery is reliable: a node always has its own
+  value.
+- **transient crashes** — ``crash_schedule`` lists ``(node, start,
+  stop)`` windows measured on the engine's monotone round clock
+  (:attr:`RoundEngine.rounds_executed`, which keeps counting across
+  agreement exchanges).  While crashed, a node neither sends nor
+  receives; at ``stop`` it recovers and rejoins with its current state.
+
+Unlike Byzantine behaviour, these failures hit honest and faulty nodes
+alike — they model the *network*, not the adversary.  Combined with
+``require_quorum(..., policy="starve")`` the consumers stall a starved
+node for a round instead of aborting, which is how the trainers survive
+nonzero drop rates end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.base import RoundEngine
+from repro.network.message import Message
+from repro.network.reliable_broadcast import BroadcastPlan
+from repro.utils.rng import SeedLike, as_generator
+
+CrashWindow = Tuple[int, int, int]
+
+
+def normalise_crash_schedule(
+    schedule: Iterable[Sequence[int]], n: int
+) -> Tuple[CrashWindow, ...]:
+    """Validate and canonicalise ``(node, start, stop)`` crash windows."""
+    windows: List[CrashWindow] = []
+    for entry in schedule:
+        if len(entry) != 3:
+            raise ValueError(
+                f"crash window must be (node, start, stop), got {tuple(entry)!r}"
+            )
+        node, start, stop = (int(v) for v in entry)
+        if node < 0 or node >= n:
+            raise ValueError(f"crash window node {node} out of range for n={n}")
+        if start < 0 or stop <= start:
+            raise ValueError(
+                f"crash window rounds must satisfy 0 <= start < stop, got ({start}, {stop})"
+            )
+        windows.append((node, start, stop))
+    return tuple(sorted(windows))
+
+
+class LossyScheduler(RoundEngine):
+    """Per-link drops plus transient crash/recovery windows.
+
+    Parameters
+    ----------
+    drop_rate:
+        Probability each non-self link loses its message, in ``[0, 1)``.
+    crash_schedule:
+        Iterable of ``(node, start, stop)`` windows (stop exclusive) on
+        the engine's monotone round clock during which ``node`` is down.
+    seed:
+        Seed of the scheduler's drop generator.
+    """
+
+    records_stats = True
+
+    def __init__(
+        self,
+        n: int,
+        byzantine: Iterable[int] = (),
+        *,
+        drop_rate: float = 0.0,
+        crash_schedule: Iterable[Sequence[int]] = (),
+        seed: SeedLike = 0,
+        keep_history: bool = True,
+        max_history: Optional[int] = None,
+        require_full_broadcast: bool = True,
+    ) -> None:
+        super().__init__(
+            n, byzantine, keep_history=keep_history, max_history=max_history,
+            require_full_broadcast=require_full_broadcast,
+        )
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
+        self.drop_rate = float(drop_rate)
+        self.crash_schedule = normalise_crash_schedule(crash_schedule, self.n)
+        self._rng = as_generator(seed)
+
+    def is_crashed(self, node: int, clock: Optional[int] = None) -> bool:
+        """Whether ``node`` is inside a crash window at ``clock``."""
+        at = self.rounds_executed if clock is None else int(clock)
+        return any(
+            node == crashed and start <= at < stop
+            for crashed, start, stop in self.crash_schedule
+        )
+
+    def _deliver(
+        self, plans: Sequence[BroadcastPlan], round_index: int
+    ) -> Dict[int, List[Message]]:
+        clock = self.rounds_executed
+        inboxes: Dict[int, List[Message]] = {node: [] for node in range(self.n)}
+        for plan, message in self._validated_messages(plans, round_index):
+            sender_down = self.is_crashed(plan.sender, clock)
+            for receiver in range(self.n):
+                if not plan.delivers_to(receiver):
+                    continue
+                self.stats["sent"] += 1
+                if sender_down or self.is_crashed(receiver, clock):
+                    self.stats["crash_omitted"] += 1
+                    continue
+                if receiver != plan.sender and self.drop_rate > 0.0:
+                    if self._rng.random() < self.drop_rate:
+                        self.stats["dropped"] += 1
+                        continue
+                inboxes[receiver].append(message)
+                self.stats["delivered"] += 1
+        return inboxes

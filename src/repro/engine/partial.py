@@ -1,0 +1,123 @@
+"""Partially synchronous scheduler: bounded per-link delivery delays.
+
+Messages are never lost, but each (sender, receiver) link may hold a
+delivery back for a random number of rounds bounded by the **delivery
+horizon** ``max_delay``.  A message sent in round ``r`` therefore
+arrives in some round ``r' in [r, r + max_delay]`` — the classical
+partially synchronous model with a known bound.  Late messages are
+merged into the receiving round's inbox *ahead* of that round's fresh
+messages (they are older), ordered by (send round, sender id), which
+keeps executions deterministic for a fixed seed.
+
+A timing-aware adversary (see :mod:`repro.byzantine.timing`) can pin the
+lag of its own links through ``BroadcastPlan.delays``; honest links are
+delayed by the network RNG alone.  Self-delivery is immediate — a node
+does not wait for its own message.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.base import RoundEngine
+from repro.network.message import Message
+from repro.network.reliable_broadcast import BroadcastPlan
+from repro.utils.rng import SeedLike, as_generator
+
+
+class PartiallySynchronousScheduler(RoundEngine):
+    """Per-link RNG-driven delays with a delivery horizon.
+
+    Parameters
+    ----------
+    max_delay:
+        Delivery horizon: the largest number of rounds any link may lag.
+    delay_prob:
+        Probability that a given link is slow this round (drawn per
+        link per round); a slow link's lag is uniform on
+        ``[1, max_delay]``.
+    seed:
+        Seed of the scheduler's own generator — independent from the
+        experiment's honest and adversarial streams.
+    """
+
+    records_stats = True
+
+    def __init__(
+        self,
+        n: int,
+        byzantine: Iterable[int] = (),
+        *,
+        max_delay: int = 1,
+        delay_prob: float = 0.5,
+        seed: SeedLike = 0,
+        keep_history: bool = True,
+        max_history: Optional[int] = None,
+        require_full_broadcast: bool = True,
+    ) -> None:
+        super().__init__(
+            n, byzantine, keep_history=keep_history, max_history=max_history,
+            require_full_broadcast=require_full_broadcast,
+        )
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be non-negative, got {max_delay}")
+        if not 0.0 <= delay_prob <= 1.0:
+            raise ValueError(f"delay_prob must be in [0, 1], got {delay_prob}")
+        self.max_delay = int(max_delay)
+        self.horizon = self.max_delay
+        self.delay_prob = float(delay_prob)
+        self._rng = as_generator(seed)
+        # arrival round -> [(send_round, sender, receiver, message)]
+        self._pending: Dict[int, List[Tuple[int, int, int, Message]]] = {}
+
+    def _link_lag(self, plan: BroadcastPlan, receiver: int) -> int:
+        if receiver == plan.sender:
+            return 0
+        if plan.delays is not None and receiver in plan.delays:
+            return min(plan.delay_to(receiver), self.max_delay)
+        if self.max_delay == 0 or self.delay_prob == 0.0:
+            return 0
+        if self._rng.random() >= self.delay_prob:
+            return 0
+        return int(self._rng.integers(1, self.max_delay + 1))
+
+    def _deliver(
+        self, plans: Sequence[BroadcastPlan], round_index: int
+    ) -> Dict[int, List[Message]]:
+        inboxes: Dict[int, List[Message]] = {node: [] for node in range(self.n)}
+        # Older, delayed messages arrive first in this round's inbox.
+        for send_round, _sender, receiver, message in sorted(
+            self._pending.pop(round_index, []), key=lambda item: (item[0], item[1])
+        ):
+            inboxes[receiver].append(message)
+            self.stats["delivered"] += 1
+
+        for plan, message in self._validated_messages(plans, round_index):
+            for receiver in range(self.n):
+                if not plan.delivers_to(receiver):
+                    continue
+                self.stats["sent"] += 1
+                lag = self._link_lag(plan, receiver)
+                if lag == 0:
+                    inboxes[receiver].append(message)
+                    self.stats["delivered"] += 1
+                else:
+                    self.stats["delayed"] += 1
+                    self._pending.setdefault(round_index + lag, []).append(
+                        (round_index, plan.sender, receiver, message)
+                    )
+        return inboxes
+
+    def pending_count(self) -> int:
+        """Messages currently in flight (sent but not yet delivered)."""
+        return sum(len(batch) for batch in self._pending.values())
+
+    def reset(self) -> None:
+        """Drop history and discard in-flight messages (counted as dropped).
+
+        An exchange boundary is a synchronisation point: messages still
+        in flight when the exchange ends never reach their receivers.
+        """
+        self.stats["dropped"] += self.pending_count()
+        self._pending.clear()
+        super().reset()

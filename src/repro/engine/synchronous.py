@@ -1,0 +1,38 @@
+"""Lock-step scheduler: every message arrives in its own round.
+
+This is the paper's timing model (Section 2.3) and the reference
+behaviour of the engine: delivery is exactly
+:meth:`repro.network.reliable_broadcast.ReliableBroadcast.deliver`, so
+the scheduler is bitwise-identical to the pre-engine
+``SynchronousNetwork`` — the pinned-fixture suite in
+``tests/test_engine_equivalence.py`` enforces that.
+
+Adversary-requested delays are ignored here: under synchrony a delayed
+message would simply arrive at the round boundary anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.engine.base import RoundEngine
+from repro.network.message import Message
+from repro.network.reliable_broadcast import BroadcastPlan
+
+
+class SynchronousScheduler(RoundEngine):
+    """Reliable lock-step delivery (the paper's synchronous model)."""
+
+    horizon = 0
+    records_stats = False
+
+    def _deliver(
+        self, plans: Sequence[BroadcastPlan], round_index: int
+    ) -> Dict[int, List[Message]]:
+        inboxes = self.broadcast.deliver(plans, round_index)
+        # Under synchrony every sent message is delivered, so one count
+        # covers both (records_stats stays False: nothing to report).
+        delivered = sum(len(messages) for messages in inboxes.values())
+        self.stats["sent"] += delivered
+        self.stats["delivered"] += delivered
+        return inboxes

@@ -18,7 +18,19 @@ PathLike = Union[str, Path]
 
 
 def history_to_dict(history: TrainingHistory) -> dict:
-    """Convert a history (including all round records) to plain data."""
+    """Convert a history (including all round records) to plain data.
+
+    ``network_stats`` is only emitted when present (runs on lossy /
+    partially synchronous schedulers), so synchronous-run dictionaries
+    are identical to those written before the round-engine refactor.
+    """
+    data = _history_base_dict(history)
+    if history.network_stats:
+        data["network_stats"] = {k: int(v) for k, v in history.network_stats.items()}
+    return data
+
+
+def _history_base_dict(history: TrainingHistory) -> dict:
     return {
         "setting": history.setting,
         "aggregation": history.aggregation,
@@ -63,6 +75,9 @@ def history_from_dict(data: dict) -> TrainingHistory:
         heterogeneity=data["heterogeneity"],
         num_clients=int(data["num_clients"]),
         num_byzantine=int(data["num_byzantine"]),
+        network_stats={
+            str(k): int(v) for k, v in data.get("network_stats", {}).items()
+        },
     )
     for record in data.get("records", []):
         history.append(

@@ -24,8 +24,11 @@ from repro.learning.decentralized import DecentralizedTrainer
 from repro.learning.experiment import (
     ExperimentConfig,
     build_experiment,
+    clear_data_cache,
+    data_cache_stats,
     run_centralized_experiment,
     run_decentralized_experiment,
+    run_experiment,
 )
 
 __all__ = [
@@ -36,6 +39,9 @@ __all__ = [
     "RoundRecord",
     "TrainingHistory",
     "build_experiment",
+    "clear_data_cache",
+    "data_cache_stats",
     "run_centralized_experiment",
     "run_decentralized_experiment",
+    "run_experiment",
 ]

@@ -21,8 +21,11 @@ from repro.aggregation.base import AggregationRule
 from repro.aggregation.context import AggregationContext
 from repro.byzantine.base import AttackContext
 from repro.data.datasets import Dataset
+from repro.engine.base import RoundEngine
+from repro.engine.synchronous import SynchronousScheduler
 from repro.learning.client import Client
 from repro.learning.history import RoundRecord, TrainingHistory
+from repro.network.reliable_broadcast import BroadcastPlan
 from repro.nn.model import Sequential
 from repro.nn.optimizers import SGD
 from repro.utils.logging import get_logger
@@ -48,6 +51,14 @@ class CentralizedTrainer:
     optimizer:
         SGD configuration; constructed from ``learning_rate`` and the
         round budget when omitted.
+    engine:
+        Round engine modelling the client -> server exchange as a star
+        topology: every client broadcasts its (possibly corrupted)
+        gradient and the server — one extra, receive-only node — reads
+        its own inbox.  Defaults to lock-step delivery, which reproduces
+        the historical trainer bitwise.  Under lossy / partially
+        synchronous engines the server aggregates whatever arrived that
+        round and skips the step (keeping the model) when nothing did.
     """
 
     def __init__(
@@ -61,6 +72,7 @@ class CentralizedTrainer:
         learning_rate: float = 0.01,
         flatten_inputs: bool = True,
         seed=0,
+        engine: Optional[RoundEngine] = None,
     ) -> None:
         if not clients:
             raise ValueError("at least one client is required")
@@ -71,6 +83,39 @@ class CentralizedTrainer:
         self.optimizer = optimizer if optimizer is not None else SGD(learning_rate)
         self.flatten_inputs = bool(flatten_inputs)
         self._rng = as_generator(seed)
+        byz_ids = tuple(c.client_id for c in self.clients if c.is_byzantine)
+        self.server_node = max(c.client_id for c in self.clients) + 1
+        if engine is None:
+            engine = SynchronousScheduler(
+                self.server_node + 1, byz_ids, keep_history=False,
+                require_full_broadcast=False,
+            )
+        if engine.n != self.server_node + 1:
+            raise ValueError(
+                f"engine must cover every client plus the server node "
+                f"(need n={self.server_node + 1}, engine has n={engine.n})"
+            )
+        if engine.broadcast.require_full_broadcast:
+            raise ValueError(
+                "the centralized trainer runs a star exchange (clients unicast "
+                "to the server); build the engine with require_full_broadcast=False"
+            )
+        if tuple(sorted(engine.byzantine)) != tuple(sorted(byz_ids)):
+            raise ValueError(
+                f"engine byzantine set {sorted(engine.byzantine)} does not match "
+                f"clients {sorted(byz_ids)}"
+            )
+        self.engine = engine
+        self._strict_delivery = isinstance(engine, SynchronousScheduler)
+        # Robust rules need at least n - t vectors (the subset-based
+        # ones enumerate (n - t)-subsets); under non-strict delivery the
+        # server skips rounds that arrive below that floor.
+        rule_n, rule_t = getattr(aggregation, "n", None), getattr(aggregation, "t", None)
+        self._min_received = (
+            max(1, int(rule_n) - int(rule_t))
+            if rule_n is not None and rule_t is not None
+            else 1
+        )
 
     # -- internals -----------------------------------------------------------
     def _test_inputs(self) -> np.ndarray:
@@ -78,7 +123,16 @@ class CentralizedTrainer:
         return images.reshape(images.shape[0], -1) if self.flatten_inputs else images
 
     def _collect_gradients(self, parameters: np.ndarray, round_index: int) -> tuple[List[np.ndarray], float]:
-        """Gradients the server receives this round (after attacks)."""
+        """Gradients the server receives this round (after attacks).
+
+        Every client submits one plan addressed to the server link only
+        (the engine runs in star mode, so honest unicast is legal) and
+        the server consumes its own inbox — which is where the timing
+        model (drops, delays, crash windows) applies, and what the
+        delivery counters measure.  Selective omission is meaningless
+        here, but timing attacks may still shape delivery through
+        ``send_delays``.
+        """
         honest_vectors: Dict[int, np.ndarray] = {}
         own_vectors: Dict[int, np.ndarray] = {}
         losses: List[float] = []
@@ -89,10 +143,17 @@ class CentralizedTrainer:
                 honest_vectors[client.client_id] = grad
                 losses.append(loss)
 
-        received: List[np.ndarray] = []
+        server_only = frozenset({self.server_node})
+        plans: List[BroadcastPlan] = []
         for client in self.clients:
             if not client.is_byzantine:
-                received.append(own_vectors[client.client_id])
+                plans.append(
+                    BroadcastPlan(
+                        sender=client.client_id,
+                        payload=own_vectors[client.client_id],
+                        recipients=server_only,
+                    )
+                )
                 continue
             context = AttackContext(
                 node=client.client_id,
@@ -100,11 +161,28 @@ class CentralizedTrainer:
                 own_vector=own_vectors[client.client_id],
                 honest_vectors=honest_vectors,
                 rng=self._rng,
+                horizon=self.engine.horizon,
             )
             corrupted = client.attack.corrupt(context)
-            if corrupted is not None:
-                received.append(np.asarray(corrupted, dtype=np.float64).reshape(-1))
             # A silent (crashed) Byzantine client simply contributes nothing.
+            plans.append(
+                BroadcastPlan(
+                    sender=client.client_id,
+                    payload=None if corrupted is None
+                    else np.asarray(corrupted, dtype=np.float64).reshape(-1),
+                    recipients=server_only,
+                    delays=client.attack.send_delays(context),
+                    metadata={"attack": client.attack.name},
+                )
+            )
+
+        result = self.engine.submit(plans, round_index)
+        delivered = {msg.sender: msg.payload for msg in result.inboxes.get(self.server_node, [])}
+        received = [
+            delivered[client.client_id]
+            for client in self.clients
+            if client.client_id in delivered
+        ]
         mean_loss = float(np.mean(losses)) if losses else float("nan")
         return received, mean_loss
 
@@ -131,17 +209,25 @@ class CentralizedTrainer:
 
         for round_index in range(rounds):
             received, mean_loss = self._collect_gradients(parameters, round_index)
-            if not received:
+            if not received and self._strict_delivery:
                 raise RuntimeError(
                     f"no gradients received in round {round_index}; cannot aggregate"
                 )
-            # One context per round: every distance-based step of the
-            # rule (and any diagnostics sharing it) reuses the same
-            # pairwise-distance matrix.
-            round_context = AggregationContext(np.stack(received, axis=0))
-            aggregate = self.aggregation.aggregate(context=round_context)
-            parameters = self.optimizer.step(parameters, aggregate, round_index)
-            self.global_model.set_flat_parameters(parameters)
+            if not self._strict_delivery and len(received) < self._min_received:
+                # The lossy/partial network starved the server below the
+                # rule's floor this round; skip the step, keep the model.
+                _logger.info(
+                    "centralized round %d: only %d gradients arrived (need %d), skipping step",
+                    round_index, len(received), self._min_received,
+                )
+            else:
+                # One context per round: every distance-based step of the
+                # rule (and any diagnostics sharing it) reuses the same
+                # pairwise-distance matrix.
+                round_context = AggregationContext(np.stack(received, axis=0))
+                aggregate = self.aggregation.aggregate(context=round_context)
+                parameters = self.optimizer.step(parameters, aggregate, round_index)
+                self.global_model.set_flat_parameters(parameters)
 
             if (round_index + 1) % record_every == 0 or round_index == rounds - 1:
                 acc = self.global_model.evaluate_accuracy(test_inputs, self.test_data.labels)
@@ -151,6 +237,8 @@ class CentralizedTrainer:
                 _logger.info(
                     "centralized round %d: accuracy=%.4f loss=%.4f", round_index, acc, mean_loss
                 )
+        if self.engine.records_stats:
+            history.network_stats = self.engine.stats_snapshot()
         return history
 
     def _attack_name(self) -> Optional[str]:

@@ -23,13 +23,14 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.agreement.base import AgreementAlgorithm
-from repro.byzantine.base import AttackContext, GradientAttack
+from repro.byzantine.base import GradientAttack
 from repro.data.datasets import Dataset
+from repro.engine.base import RoundEngine
+from repro.engine.rounds import attack_adversary_plan, run_exchange
+from repro.engine.synchronous import SynchronousScheduler
 from repro.learning.client import Client
 from repro.learning.history import RoundRecord, TrainingHistory
 from repro.linalg.distances import diameter
-from repro.network.reliable_broadcast import BroadcastPlan
-from repro.network.synchronous import SynchronousNetwork, full_broadcast_plan
 from repro.nn.optimizers import SGD
 from repro.utils.logging import get_logger
 from repro.utils.rng import as_generator
@@ -64,6 +65,13 @@ class DecentralizedTrainer:
     subround_schedule:
         Callable mapping the learning iteration to the number of
         agreement sub-rounds (defaults to the ``log t`` schedule).
+    engine:
+        Round engine supplying the timing model of the gradient
+        exchange.  Defaults to a lock-step scheduler without history
+        retention (thousands of sub-rounds would otherwise pin every
+        inbox in memory).  Under lossy / partially synchronous engines a
+        client starved below quorum keeps its current gradient estimate
+        for that sub-round.
     """
 
     def __init__(
@@ -77,6 +85,7 @@ class DecentralizedTrainer:
         subround_schedule=default_subround_schedule,
         flatten_inputs: bool = True,
         seed=0,
+        engine: Optional[RoundEngine] = None,
     ) -> None:
         if not clients:
             raise ValueError("at least one client is required")
@@ -101,8 +110,24 @@ class DecentralizedTrainer:
                 f"{len(self.byzantine_ids)} Byzantine clients exceed the tolerance t={agreement.t}"
             )
         self.honest_ids = tuple(c.client_id for c in self.clients if not c.is_byzantine)
-        self.network = SynchronousNetwork(len(self.clients), self.byzantine_ids)
-        self.network.require_quorum(agreement.minimum_messages())
+        if engine is None:
+            engine = SynchronousScheduler(
+                len(self.clients), self.byzantine_ids, keep_history=False
+            )
+        if engine.n != len(self.clients):
+            raise ValueError(
+                f"engine is configured for n={engine.n} but there are {len(self.clients)} clients"
+            )
+        if tuple(sorted(engine.byzantine)) != self.byzantine_ids:
+            raise ValueError(
+                f"engine byzantine set {sorted(engine.byzantine)} does not match "
+                f"clients {self.byzantine_ids}"
+            )
+        self.engine = engine
+        policy = "raise" if isinstance(engine, SynchronousScheduler) else "starve"
+        self.engine.require_quorum(agreement.minimum_messages(), policy=policy)
+        #: Backwards-compatible alias (this used to be a SynchronousNetwork).
+        self.network = self.engine
 
     # -- internals -----------------------------------------------------------
     def _test_inputs(self) -> np.ndarray:
@@ -121,39 +146,27 @@ class DecentralizedTrainer:
     ) -> Dict[int, np.ndarray]:
         """Execute the agreement sub-rounds; returns each honest node's output."""
         current = {i: g.copy() for i, g in honest_gradients.items()}
-
-        def adversary_plan(node: int, round_index: int, honest_values: Dict[int, np.ndarray]) -> BroadcastPlan:
-            attack = self._attack_for(node)
-            if attack is None:
-                return BroadcastPlan(sender=node, payload=None)
-            context = AttackContext(
-                node=node,
-                round_index=round_index,
-                own_vector=byzantine_gradients.get(node),
-                honest_vectors=honest_values,
-                rng=self._rng,
+        adversary_plan = (
+            attack_adversary_plan(
+                self._attack_for,
+                byzantine_gradients,
+                self._rng,
+                horizon=self.engine.horizon,
+                extra_metadata={"iteration": iteration},
             )
-            payload = attack.corrupt(context)
-            return BroadcastPlan(
-                sender=node,
-                payload=None if payload is None else np.asarray(payload, dtype=np.float64),
-                recipients=attack.recipients(context),
-                metadata={"attack": attack.name, "iteration": iteration},
-            )
-
-        self.network.reset_history()
-        for sub in range(subrounds):
-            round_result = self.network.run_round(
-                sub,
-                honest_plan=lambda node, _r: full_broadcast_plan(node, current[node]),
-                adversary_plan=adversary_plan if self.byzantine_ids else None,
-            )
-            new_values: Dict[int, np.ndarray] = {}
-            for node in self.honest_ids:
-                received = round_result.received_matrix(node)
-                new_values[node] = self.agreement.update(received)
-            current = new_values
-        return current
+            if self.byzantine_ids
+            else None
+        )
+        # Each learning iteration is a fresh exchange: any message still
+        # in flight from the previous iteration's sub-rounds is stale.
+        self.engine.reset()
+        return run_exchange(
+            self.engine,
+            current,
+            subrounds,
+            lambda _node, received: self.agreement.update(received),
+            adversary_plan,
+        )
 
     # -- public API -----------------------------------------------------------
     def train(self, rounds: int, *, record_every: int = 1) -> TrainingHistory:
@@ -220,6 +233,8 @@ class DecentralizedTrainer:
                     record.accuracy,
                     disagreement,
                 )
+        if self.engine.records_stats:
+            history.network_stats = self.engine.stats_snapshot()
         return history
 
     def _attack_name(self) -> Optional[str]:

@@ -11,7 +11,7 @@ declarative and serialisable.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,8 @@ from repro.data.datasets import (
     train_test_split,
 )
 from repro.data.partition import Heterogeneity, partition_dataset
+from repro.engine import SCHEDULER_NAMES, make_scheduler
+from repro.engine.base import RoundEngine
 from repro.learning.centralized import CentralizedTrainer
 from repro.learning.client import Client
 from repro.learning.decentralized import DecentralizedTrainer
@@ -64,6 +66,14 @@ class ExperimentConfig:
     aggregation_kwargs: dict = field(default_factory=dict)
     # Smaller hidden sizes keep decentralized runs (10 models) laptop-fast.
     mlp_hidden: Tuple[int, int] = (64, 32)
+    # Timing model of the communication rounds (see repro.engine):
+    # "synchronous" (the paper), "partial" (bounded per-link delays,
+    # horizon = `delay`), or "lossy" (`drop_rate` per-link loss plus
+    # transient `crash_schedule` windows).
+    scheduler: str = "synchronous"
+    delay: int = 0
+    drop_rate: float = 0.0
+    crash_schedule: Tuple[Tuple[int, int, int], ...] = ()
 
     def __post_init__(self) -> None:
         require(self.setting in ("centralized", "decentralized"),
@@ -76,6 +86,30 @@ class ExperimentConfig:
         require(self.rounds >= 1, "rounds must be positive")
         require(self.num_samples >= 10 * self.num_clients,
                 "num_samples too small for the requested number of clients")
+        require(self.scheduler in SCHEDULER_NAMES,
+                f"unknown scheduler {self.scheduler!r}; available: {SCHEDULER_NAMES}")
+        require(self.delay >= 0, "delay must be non-negative")
+        require(0.0 <= self.drop_rate < 1.0, "drop_rate must be in [0, 1)")
+        # Knob/scheduler consistency — a sweep axis that silently did
+        # nothing would corrupt conclusions, so fail at config time.
+        if self.scheduler == "partial":
+            require(self.delay >= 1, "scheduler='partial' needs delay >= 1")
+        else:
+            require(self.delay == 0,
+                    f"delay is only meaningful for scheduler='partial' (got {self.scheduler!r})")
+        if self.scheduler != "lossy":
+            require(self.drop_rate == 0.0 and not self.crash_schedule,
+                    "drop_rate/crash_schedule are only meaningful for scheduler='lossy'")
+        # Canonicalise crash windows to nested int tuples so configs
+        # built from JSON lists compare equal to hand-built ones.
+        object.__setattr__(
+            self,
+            "crash_schedule",
+            tuple(tuple(int(v) for v in window) for window in self.crash_schedule),
+        )
+        for window in self.crash_schedule:
+            require(len(window) == 3,
+                    f"crash window must be (node, start, stop), got {window!r}")
 
     @property
     def tolerance(self) -> int:
@@ -101,14 +135,68 @@ class BuiltExperiment:
     flatten_inputs: bool
 
 
+# Cross-cell reuse: sweep cells sharing their data axes (dataset,
+# sample budget, heterogeneity, partition seed) rebuild byte-identical
+# shards, so one in-process cache serves them all.  Builds are pure
+# functions of the key and consumers never mutate shard arrays, which
+# keeps sweep output byte-identical with the cache on or off; each
+# multiprocessing worker simply grows its own cache.
+_DATA_CACHE: dict = {}
+_DATA_CACHE_LIMIT = 16
+_DATA_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+def _data_cache_get(key, build):
+    if key in _DATA_CACHE:
+        _DATA_CACHE_STATS["hits"] += 1
+        return _DATA_CACHE[key]
+    _DATA_CACHE_STATS["misses"] += 1
+    value = build()
+    while len(_DATA_CACHE) >= _DATA_CACHE_LIMIT:
+        _DATA_CACHE.pop(next(iter(_DATA_CACHE)))
+    _DATA_CACHE[key] = value
+    return value
+
+
+def clear_data_cache() -> None:
+    """Drop the cross-cell dataset/shard cache (mainly for tests)."""
+    _DATA_CACHE.clear()
+    _DATA_CACHE_STATS["hits"] = 0
+    _DATA_CACHE_STATS["misses"] = 0
+
+
+def data_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of the cross-cell dataset/shard cache."""
+    return dict(_DATA_CACHE_STATS)
+
+
 def _make_dataset(config: ExperimentConfig) -> Tuple[Dataset, Dataset]:
-    seed = stable_component_seed(config.seed, "dataset", config.dataset)
-    if config.dataset == "mnist":
-        full = make_synthetic_mnist(config.num_samples, seed=seed)
-    else:
-        full = make_synthetic_cifar10(config.num_samples, seed=seed)
-    return train_test_split(full, test_fraction=config.test_fraction,
-                            seed=stable_component_seed(config.seed, "split"))
+    def build() -> Tuple[Dataset, Dataset]:
+        seed = stable_component_seed(config.seed, "dataset", config.dataset)
+        if config.dataset == "mnist":
+            full = make_synthetic_mnist(config.num_samples, seed=seed)
+        else:
+            full = make_synthetic_cifar10(config.num_samples, seed=seed)
+        return train_test_split(full, test_fraction=config.test_fraction,
+                                seed=stable_component_seed(config.seed, "split"))
+
+    key = ("dataset", config.dataset, config.num_samples, config.test_fraction,
+           config.seed)
+    return _data_cache_get(key, build)
+
+
+def _make_shards(config: ExperimentConfig, train_data: Dataset) -> List[Dataset]:
+    def build() -> List[Dataset]:
+        return partition_dataset(
+            train_data,
+            config.num_clients,
+            config.heterogeneity,
+            seed=stable_component_seed(config.seed, "partition", config.heterogeneity),
+        )
+
+    key = ("shards", config.dataset, config.num_samples, config.test_fraction,
+           config.seed, config.num_clients, config.heterogeneity)
+    return _data_cache_get(key, build)
 
 
 def _make_model(config: ExperimentConfig, train_data: Dataset, *, seed_tag: str) -> Tuple[Sequential, bool]:
@@ -129,12 +217,7 @@ def build_experiment(config: ExperimentConfig) -> BuiltExperiment:
     comparisons use identical data assignments.
     """
     train_data, test_data = _make_dataset(config)
-    shards = partition_dataset(
-        train_data,
-        config.num_clients,
-        config.heterogeneity,
-        seed=stable_component_seed(config.seed, "partition", config.heterogeneity),
-    )
+    shards = _make_shards(config, train_data)
 
     byzantine_ids = set(range(config.num_clients - config.num_byzantine, config.num_clients))
     # In the centralized setting all clients share one architecture; the
@@ -180,6 +263,31 @@ def build_experiment(config: ExperimentConfig) -> BuiltExperiment:
     )
 
 
+def _make_engine(
+    config: ExperimentConfig, n: int, byzantine: Tuple[int, ...], *, star: bool = False
+) -> RoundEngine:
+    """Scheduler instance for one experiment run.
+
+    The scheduler's own randomness (link delays, drops) is seeded from
+    the experiment seed but on an independent component stream, so
+    switching schedulers never perturbs the data/model/attack streams.
+    Trainers drive thousands of rounds, so history retention is off.
+    ``star`` builds the engine for the centralized client -> server
+    exchange, where honest senders unicast to the server link.
+    """
+    return make_scheduler(
+        config.scheduler,
+        n,
+        byzantine,
+        delay=config.delay,
+        drop_rate=config.drop_rate,
+        crash_schedule=config.crash_schedule,
+        seed=stable_component_seed(config.seed, "scheduler", config.scheduler),
+        keep_history=False,
+        require_full_broadcast=not star,
+    )
+
+
 def run_centralized_experiment(config: ExperimentConfig) -> TrainingHistory:
     """Build and run a centralized experiment, returning its history."""
     require(config.setting == "centralized", "config.setting must be 'centralized'")
@@ -190,6 +298,7 @@ def run_centralized_experiment(config: ExperimentConfig) -> TrainingHistory:
         t=config.tolerance,
         **config.aggregation_kwargs,
     )
+    byzantine = tuple(c.client_id for c in built.clients if c.is_byzantine)
     trainer = CentralizedTrainer(
         built.global_model,
         built.clients,
@@ -198,6 +307,8 @@ def run_centralized_experiment(config: ExperimentConfig) -> TrainingHistory:
         optimizer=SGD(config.learning_rate, total_rounds=config.rounds),
         flatten_inputs=built.flatten_inputs,
         seed=stable_component_seed(config.seed, "trainer"),
+        # One extra node: the server, consuming the star exchange.
+        engine=_make_engine(config, config.num_clients + 1, byzantine, star=True),
     )
     history = trainer.train(config.rounds)
     history.heterogeneity = config.heterogeneity
@@ -214,6 +325,7 @@ def run_decentralized_experiment(config: ExperimentConfig) -> TrainingHistory:
         config.tolerance,
         **config.aggregation_kwargs,
     )
+    byzantine = tuple(c.client_id for c in built.clients if c.is_byzantine)
     trainer = DecentralizedTrainer(
         built.clients,
         algorithm,
@@ -221,6 +333,7 @@ def run_decentralized_experiment(config: ExperimentConfig) -> TrainingHistory:
         optimizer=SGD(config.learning_rate, total_rounds=config.rounds),
         flatten_inputs=built.flatten_inputs,
         seed=stable_component_seed(config.seed, "trainer"),
+        engine=_make_engine(config, config.num_clients, byzantine),
     )
     history = trainer.train(config.rounds)
     history.heterogeneity = config.heterogeneity

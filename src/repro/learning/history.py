@@ -36,7 +36,13 @@ class RoundRecord:
 
 @dataclass
 class TrainingHistory:
-    """Sequence of per-round records plus experiment metadata."""
+    """Sequence of per-round records plus experiment metadata.
+
+    ``network_stats`` holds the cumulative delivery counters of the
+    round engine the run executed on (sent / delivered / dropped /
+    delayed / crash_omitted messages).  It stays empty under the
+    synchronous scheduler, whose delivery is total by definition.
+    """
 
     setting: str
     aggregation: str
@@ -45,6 +51,7 @@ class TrainingHistory:
     num_clients: int
     num_byzantine: int
     records: List[RoundRecord] = field(default_factory=list)
+    network_stats: Dict[str, int] = field(default_factory=dict)
 
     def append(self, record: RoundRecord) -> None:
         """Add a round record (rounds must be appended in order)."""

@@ -13,19 +13,49 @@ The paper assumes (Section 2.3):
 This package simulates those assumptions so agreement algorithms and the
 decentralized learning loop run against the same adversary model the
 theory analyses.
+
+The synchronous-rounds assumption is no longer baked in: this package
+owns message *delivery* (plans, reliable-broadcast validation, quorum,
+:class:`RoundResult`), while :mod:`repro.engine` owns the *timing*
+models built on top of it (lock-step, partially synchronous, lossy) —
+see ``docs/architecture.md`` for the layer map.  An empty inbox raises
+:class:`EmptyInboxError` so lossy-scheduler consumers can tell "the
+network dropped everything" apart from malformed input.
 """
 
 from repro.network.message import Message
 from repro.network.reliable_broadcast import BroadcastPlan, ReliableBroadcast
-from repro.network.synchronous import RoundResult, SynchronousNetwork
+from repro.network.delivery import (
+    EmptyInboxError,
+    RoundResult,
+    collect_plans,
+    enforce_quorum,
+    full_broadcast_plan,
+)
 from repro.network.topology import complete_topology, validate_topology
 
 __all__ = [
     "BroadcastPlan",
+    "EmptyInboxError",
     "Message",
     "ReliableBroadcast",
     "RoundResult",
     "SynchronousNetwork",
+    "collect_plans",
     "complete_topology",
+    "enforce_quorum",
+    "full_broadcast_plan",
     "validate_topology",
 ]
+
+
+def __getattr__(name: str):
+    # Imported lazily (PEP 562): ``network.synchronous`` re-layers the
+    # historical ``SynchronousNetwork`` on ``repro.engine``, whose base
+    # classes import this package's delivery core — resolving the name
+    # on first access instead of at package init breaks that cycle.
+    if name == "SynchronousNetwork":
+        from repro.network.synchronous import SynchronousNetwork
+
+        return SynchronousNetwork
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

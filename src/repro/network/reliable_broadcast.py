@@ -39,12 +39,19 @@ class BroadcastPlan:
         Nodes that deliver the payload this round.  ``None`` means every
         node.  Non-faulty senders must always use ``None`` (they follow
         the protocol); Byzantine senders may restrict the set.
+    delays:
+        Optional mapping receiver id -> extra rounds the adversary wants
+        this delivery held back.  Only Byzantine senders may request
+        delays; schedulers that model asynchrony honour them up to their
+        delivery horizon, the synchronous scheduler ignores them (every
+        message arrives in its own round by definition).
     """
 
     sender: int
     payload: Optional[np.ndarray]
     recipients: Optional[frozenset[int]] = None
     metadata: dict = field(default_factory=dict, compare=False)
+    delays: Optional[Dict[int, int]] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.sender < 0:
@@ -56,6 +63,17 @@ class BroadcastPlan:
             object.__setattr__(self, "payload", payload)
         if self.recipients is not None:
             object.__setattr__(self, "recipients", frozenset(int(r) for r in self.recipients))
+        if self.delays is not None:
+            clean = {int(node): int(lag) for node, lag in self.delays.items()}
+            if any(lag < 0 for lag in clean.values()):
+                raise ValueError("delivery delays must be non-negative")
+            object.__setattr__(self, "delays", clean)
+
+    def delay_to(self, node: int) -> int:
+        """Adversary-requested extra rounds before ``node`` delivers."""
+        if self.delays is None:
+            return 0
+        return self.delays.get(node, 0)
 
     def delivers_to(self, node: int) -> bool:
         """Whether ``node`` delivers this sender's message this round."""
@@ -74,13 +92,26 @@ class ReliableBroadcast:
     byzantine:
         Ids of Byzantine nodes.  Only these senders may restrict their
         recipient sets or stay silent while holding a payload.
+    require_full_broadcast:
+        With the default ``True``, non-faulty senders must address every
+        node (the agreement protocols' reliable-broadcast contract).
+        ``False`` admits honest recipient restriction for non-broadcast
+        round structures — the centralized trainer's star exchange sends
+        each gradient to the server link only.
     """
 
-    def __init__(self, n: int, byzantine: Iterable[int] = ()) -> None:
+    def __init__(
+        self,
+        n: int,
+        byzantine: Iterable[int] = (),
+        *,
+        require_full_broadcast: bool = True,
+    ) -> None:
         if n < 1:
             raise ValueError(f"n must be positive, got {n}")
         self.n = int(n)
         self.byzantine = frozenset(int(b) for b in byzantine)
+        self.require_full_broadcast = bool(require_full_broadcast)
         invalid = [b for b in self.byzantine if b < 0 or b >= self.n]
         if invalid:
             raise ValueError(f"byzantine ids out of range: {invalid}")
@@ -93,10 +124,23 @@ class ReliableBroadcast:
             out_of_range = [r for r in plan.recipients if r < 0 or r >= self.n]
             if out_of_range:
                 raise ValueError(f"recipients out of range: {sorted(out_of_range)}")
-            if plan.sender not in self.byzantine and plan.recipients != frozenset(range(self.n)):
+            if (
+                self.require_full_broadcast
+                and plan.sender not in self.byzantine
+                and plan.recipients != frozenset(range(self.n))
+            ):
                 raise ValueError(
                     "non-faulty senders must broadcast to all nodes "
                     f"(sender {plan.sender} restricted its recipients)"
+                )
+        if plan.delays:
+            out_of_range = [r for r in plan.delays if r < 0 or r >= self.n]
+            if out_of_range:
+                raise ValueError(f"delayed receivers out of range: {sorted(out_of_range)}")
+            if plan.sender not in self.byzantine:
+                raise ValueError(
+                    "non-faulty senders cannot delay their deliveries "
+                    f"(sender {plan.sender} requested delays)"
                 )
 
     def deliver(

@@ -1,134 +1,42 @@
-"""Synchronous round scheduler.
+"""Synchronous round scheduler (compatibility surface).
 
-:class:`SynchronousNetwork` drives a lock-step protocol: each round it
-collects one :class:`~repro.network.reliable_broadcast.BroadcastPlan`
-per node (honest plans from a callback, Byzantine plans from an
-adversary callback), applies reliable-broadcast delivery, and hands each
-honest node its inbox.  The agreement package builds its multi-round
-algorithms on top of this scheduler; the decentralized learning loop
-reuses it for the gradient-exchange sub-rounds.
+Historically this module held the only round loop in the library.  The
+delivery core now lives in :mod:`repro.network.delivery` and the
+scheduling in :mod:`repro.engine`; :class:`SynchronousNetwork` remains
+as the established name for "a lock-step engine with history retention",
+re-layered on :class:`~repro.engine.synchronous.SynchronousScheduler`
+(same behaviour, bitwise — the engine equivalence suite pins it).
+
+:class:`RoundResult` and :func:`full_broadcast_plan` are re-exported
+here for backwards compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from repro.engine.synchronous import SynchronousScheduler
+from repro.network.delivery import (
+    AdversaryPlanFn,
+    EmptyInboxError,
+    HonestPlanFn,
+    RoundResult,
+    full_broadcast_plan,
+)
 
-import numpy as np
-
-from repro.network.message import Message
-from repro.network.reliable_broadcast import BroadcastPlan, ReliableBroadcast
-
-HonestPlanFn = Callable[[int, int], BroadcastPlan]
-AdversaryPlanFn = Callable[[int, int, Dict[int, np.ndarray]], BroadcastPlan]
-
-
-@dataclass
-class RoundResult:
-    """Delivery outcome of one synchronous round."""
-
-    round_index: int
-    inboxes: Dict[int, List[Message]] = field(default_factory=dict)
-
-    def received_matrix(self, node: int) -> np.ndarray:
-        """Stack of payloads node ``node`` delivered this round, ``(m, d)``."""
-        messages = self.inboxes.get(node, [])
-        if not messages:
-            raise ValueError(f"node {node} received no messages in round {self.round_index}")
-        return np.stack([msg.payload for msg in messages], axis=0)
-
-    def senders(self, node: int) -> List[int]:
-        """Sender ids of the messages node ``node`` delivered this round."""
-        return [msg.sender for msg in self.inboxes.get(node, [])]
+__all__ = [
+    "AdversaryPlanFn",
+    "EmptyInboxError",
+    "HonestPlanFn",
+    "RoundResult",
+    "SynchronousNetwork",
+    "full_broadcast_plan",
+]
 
 
-class SynchronousNetwork:
+class SynchronousNetwork(SynchronousScheduler):
     """Lock-step network of ``n`` nodes with a static Byzantine set.
 
-    Parameters
-    ----------
-    n:
-        Number of nodes.
-    byzantine:
-        Ids of Byzantine nodes.
-    min_honest_messages:
-        Safety check: every honest node must deliver at least this many
-        messages per round (defaults to ``n - t`` when ``t`` is supplied
-        via :meth:`require_quorum`).  Set to 0 to disable.
+    A :class:`~repro.engine.synchronous.SynchronousScheduler` that keeps
+    its round history by default (the original behaviour).  Pass
+    ``keep_history=False`` or ``max_history=`` to bound memory when
+    driving thousands of rounds — the trainers do.
     """
-
-    def __init__(self, n: int, byzantine: Iterable[int] = ()) -> None:
-        self.broadcast = ReliableBroadcast(n, byzantine)
-        self.n = self.broadcast.n
-        self.byzantine = self.broadcast.byzantine
-        self.honest = tuple(sorted(set(range(self.n)) - set(self.byzantine)))
-        self._min_honest_messages = 0
-        self.history: List[RoundResult] = []
-
-    def require_quorum(self, quorum: int) -> None:
-        """Require every honest node to deliver at least ``quorum`` messages."""
-        if quorum < 0:
-            raise ValueError("quorum must be non-negative")
-        self._min_honest_messages = int(quorum)
-
-    def run_round(
-        self,
-        round_index: int,
-        honest_plan: HonestPlanFn,
-        adversary_plan: Optional[AdversaryPlanFn] = None,
-    ) -> RoundResult:
-        """Execute one synchronous round.
-
-        ``honest_plan(node, round)`` must return a full-broadcast plan for
-        every honest node.  ``adversary_plan(node, round, honest_values)``
-        is called for every Byzantine node with a read-only view of the
-        honest payloads of this round (Byzantine nodes are rushing: they
-        may inspect honest messages before choosing their own).  A
-        ``None`` adversary means Byzantine nodes stay silent (crash).
-        """
-        plans: List[BroadcastPlan] = []
-        honest_values: Dict[int, np.ndarray] = {}
-        for node in self.honest:
-            plan = honest_plan(node, round_index)
-            if plan.sender != node:
-                raise ValueError(
-                    f"honest plan for node {node} reports sender {plan.sender}"
-                )
-            if plan.payload is None:
-                raise ValueError(f"honest node {node} must broadcast a payload")
-            plans.append(plan)
-            honest_values[node] = np.asarray(plan.payload, dtype=np.float64)
-
-        if adversary_plan is not None:
-            for node in sorted(self.byzantine):
-                plan = adversary_plan(node, round_index, dict(honest_values))
-                if plan.sender != node:
-                    raise ValueError(
-                        f"adversary plan for node {node} reports sender {plan.sender}"
-                    )
-                plans.append(plan)
-
-        inboxes = self.broadcast.deliver(plans, round_index)
-        result = RoundResult(round_index=round_index, inboxes=inboxes)
-        if self._min_honest_messages:
-            for node in self.honest:
-                got = len(result.inboxes.get(node, []))
-                if got < self._min_honest_messages:
-                    raise RuntimeError(
-                        f"honest node {node} delivered only {got} messages in round "
-                        f"{round_index}, quorum is {self._min_honest_messages}"
-                    )
-        self.history.append(result)
-        return result
-
-    def reset_history(self) -> None:
-        """Drop recorded round results (used between learning iterations)."""
-        self.history.clear()
-
-
-def full_broadcast_plan(node: int, payload: np.ndarray, metadata: Optional[dict] = None) -> BroadcastPlan:
-    """Convenience constructor for the plan an honest node always uses."""
-    return BroadcastPlan(
-        sender=node, payload=np.asarray(payload, dtype=np.float64), recipients=None,
-        metadata=metadata or {},
-    )

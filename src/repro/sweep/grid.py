@@ -38,6 +38,7 @@ def config_to_dict(config: ExperimentConfig) -> dict:
     """JSON-safe dictionary form of a configuration (tuples become lists)."""
     data = dataclasses.asdict(config)
     data["mlp_hidden"] = list(data["mlp_hidden"])
+    data["crash_schedule"] = [list(window) for window in data["crash_schedule"]]
     return data
 
 
@@ -54,15 +55,31 @@ def config_from_dict(data: Mapping[str, object]) -> ExperimentConfig:
                 f"mlp_hidden must be a sequence of layer sizes, got {hidden!r}"
             )
         kwargs["mlp_hidden"] = tuple(hidden)
+    if "crash_schedule" in kwargs:
+        schedule = kwargs["crash_schedule"]
+        if isinstance(schedule, (str, bytes)) or not hasattr(schedule, "__iter__"):
+            raise ValueError(
+                f"crash_schedule must be a sequence of (node, start, stop) windows, "
+                f"got {schedule!r}"
+            )
+        kwargs["crash_schedule"] = tuple(tuple(window) for window in schedule)
     return ExperimentConfig(**kwargs)  # type: ignore[arg-type]
 
 
 def _format_axis_value(value: object) -> str:
-    """Render one axis value for a cell id (`None` means "no attack")."""
+    """Render one axis value for a cell id (`None` means "no attack").
+
+    Nested sequences (a ``crash_schedule`` axis value is a list of
+    windows) join the inner level with ``-``: ``[[2, 0, 3]]`` becomes
+    ``2-0-3``.
+    """
     if value is None:
         return "none"
     if isinstance(value, (list, tuple)):
-        return "x".join(str(v) for v in value)
+        return "x".join(
+            "-".join(str(u) for u in v) if isinstance(v, (list, tuple)) else str(v)
+            for v in value
+        )
     return str(value)
 
 

@@ -15,6 +15,12 @@ at scale:
   (matched by cell id *and* configuration) and their cells skipped, so
   re-running the same command after an interrupt completes the sweep
   instead of restarting it.
+
+Cells sharing their data axes (dataset, sample budget, heterogeneity,
+partition seed) reuse one in-process build of the dataset and client
+shards (see ``repro.learning.experiment.data_cache_stats``); builds are
+pure functions of those axes, so the streamed rows are byte-identical
+with the cache hot or cold.
 """
 
 from __future__ import annotations
@@ -48,18 +54,24 @@ def run_cell(payload: dict) -> dict:
     """
     config = config_from_dict(payload["config"])
     history = run_experiment(config)
+    summary = {
+        "final_accuracy": history.final_accuracy(),
+        "best_accuracy": history.best_accuracy(),
+        "final_loss": history.losses()[-1] if history.records else None,
+        "rounds": history.rounds,
+    }
+    if history.network_stats:
+        # Lossy / partially synchronous cells report their delivery
+        # counters next to the accuracies (synchronous cells stay
+        # byte-identical to the pre-engine row layout).
+        summary["network"] = dict(history.network_stats)
     return {
         "schema": ROW_SCHEMA_VERSION,
         "index": payload["index"],
         "cell_id": payload["cell_id"],
         "axes": payload["axes"],
         "config": payload["config"],
-        "summary": {
-            "final_accuracy": history.final_accuracy(),
-            "best_accuracy": history.best_accuracy(),
-            "final_loss": history.losses()[-1] if history.records else None,
-            "rounds": history.rounds,
-        },
+        "summary": summary,
         "history": history_to_dict(history),
     }
 

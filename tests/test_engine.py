@@ -1,0 +1,353 @@
+"""Tests for the scheduler-pluggable round engine (repro.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.byzantine.base import AttackContext
+from repro.byzantine.timing import SelectiveDelayAttack, WithholdThenRushAttack
+from repro.engine import (
+    LossyScheduler,
+    PartiallySynchronousScheduler,
+    SynchronousScheduler,
+    make_scheduler,
+    run_exchange,
+)
+from repro.network import EmptyInboxError
+from repro.network.delivery import RoundResult, full_broadcast_plan
+from repro.network.reliable_broadcast import BroadcastPlan, ReliableBroadcast
+
+
+def _values(n, d=2):
+    return {i: np.full(d, float(i)) for i in range(n)}
+
+
+def _honest_plan(values):
+    return lambda node, _r: full_broadcast_plan(node, values[node])
+
+
+class TestSynchronousScheduler:
+    def test_matches_reliable_broadcast(self):
+        n = 4
+        engine = SynchronousScheduler(n)
+        values = _values(n)
+        result = engine.run_round(0, _honest_plan(values))
+        reference = ReliableBroadcast(n).deliver(
+            [full_broadcast_plan(i, values[i]) for i in range(n)], 0
+        )
+        for node in range(n):
+            assert [m.sender for m in result.inboxes[node]] == [
+                m.sender for m in reference[node]
+            ]
+            np.testing.assert_array_equal(
+                result.received_matrix(node),
+                np.stack([m.payload for m in reference[node]]),
+            )
+
+    def test_ignores_adversary_delays(self):
+        engine = SynchronousScheduler(3, byzantine=[2])
+        values = _values(2)
+        result = engine.run_round(
+            0,
+            _honest_plan(values),
+            adversary_plan=lambda node, r, honest: BroadcastPlan(
+                sender=node, payload=np.ones(2), delays={0: 5}
+            ),
+        )
+        # Synchrony: the delayed message still arrives in its own round.
+        assert result.senders(0) == [0, 1, 2]
+
+    def test_history_disabled(self):
+        engine = SynchronousScheduler(3, keep_history=False)
+        values = _values(3)
+        for r in range(4):
+            engine.run_round(r, _honest_plan(values))
+        assert list(engine.history) == []
+        assert engine.rounds_executed == 4
+
+    def test_history_bounded(self):
+        engine = SynchronousScheduler(3, max_history=2)
+        values = _values(3)
+        for r in range(5):
+            engine.run_round(r, _honest_plan(values))
+        assert [res.round_index for res in engine.history] == [3, 4]
+
+    def test_quorum_starve_policy_marks_nodes(self):
+        engine = SynchronousScheduler(4, byzantine=[2, 3])
+        engine.require_quorum(3, policy="starve")
+        values = _values(2)
+        result = engine.run_round(0, _honest_plan(values))
+        assert result.starved == (0, 1)
+
+    def test_quorum_raise_policy_unchanged(self):
+        engine = SynchronousScheduler(4, byzantine=[2, 3])
+        engine.require_quorum(3)
+        values = _values(2)
+        with pytest.raises(RuntimeError):
+            engine.run_round(0, _honest_plan(values))
+
+    def test_invalid_quorum_policy(self):
+        engine = SynchronousScheduler(3)
+        with pytest.raises(ValueError):
+            engine.require_quorum(1, policy="ignore")
+
+
+class TestEmptyInboxError:
+    def test_distinct_type_exported(self):
+        result = RoundResult(round_index=0, inboxes={0: []})
+        with pytest.raises(EmptyInboxError):
+            result.received_matrix(0)
+
+    def test_is_a_value_error(self):
+        assert issubclass(EmptyInboxError, ValueError)
+
+
+class TestPartiallySynchronousScheduler:
+    def test_no_messages_lost_across_horizon(self):
+        n, rounds, delay = 4, 6, 2
+        engine = PartiallySynchronousScheduler(n, max_delay=delay, delay_prob=0.7, seed=3)
+        values = _values(n)
+        delivered = 0
+        for r in range(rounds):
+            result = engine.run_round(r, _honest_plan(values))
+            delivered += sum(len(msgs) for msgs in result.inboxes.values())
+        # Everything sent is either delivered or still within the horizon.
+        assert delivered + engine.pending_count() == n * n * rounds
+        assert engine.stats["sent"] == n * n * rounds
+        assert engine.stats["dropped"] == 0
+
+    def test_self_delivery_immediate(self):
+        engine = PartiallySynchronousScheduler(3, max_delay=3, delay_prob=1.0, seed=0)
+        values = _values(3)
+        result = engine.run_round(0, _honest_plan(values))
+        for node in range(3):
+            assert node in result.senders(node)
+
+    def test_deterministic_given_seed(self):
+        def trace(seed):
+            engine = PartiallySynchronousScheduler(4, max_delay=2, delay_prob=0.5, seed=seed)
+            values = _values(4)
+            out = []
+            for r in range(5):
+                result = engine.run_round(r, _honest_plan(values))
+                out.append([result.senders(node) for node in range(4)])
+            return out
+
+        assert trace(11) == trace(11)
+        assert trace(11) != trace(12)
+
+    def test_late_messages_arrive_before_fresh_ones(self):
+        engine = PartiallySynchronousScheduler(2, max_delay=1, delay_prob=1.0, seed=0)
+        values = _values(2)
+        engine.run_round(0, _honest_plan(values))
+        result = engine.run_round(1, _honest_plan(values))
+        # Node 0's inbox: the delayed round-0 message from node 1 first,
+        # then its own round-1 self-delivery.
+        rounds_seen = [m.round_index for m in result.inboxes[0]]
+        assert rounds_seen == sorted(rounds_seen)
+
+    def test_adversary_delay_honoured_and_capped(self):
+        engine = PartiallySynchronousScheduler(
+            3, byzantine=[2], max_delay=2, delay_prob=0.0, seed=0
+        )
+        values = _values(2)
+
+        def adversary(node, r, honest):
+            return BroadcastPlan(
+                sender=node, payload=np.full(2, 9.0), delays={0: 9, 1: 0}
+            )
+
+        r0 = engine.run_round(0, _honest_plan(values), adversary)
+        assert 2 in r0.senders(1) and 2 not in r0.senders(0)
+        r1 = engine.run_round(1, _honest_plan(values), adversary)
+        # The requested lag of 9 was capped at the horizon (2 rounds).
+        assert 2 not in [m.sender for m in r1.inboxes[0] if m.round_index == 0]
+        r2 = engine.run_round(2, _honest_plan(values), adversary)
+        assert any(m.sender == 2 and m.round_index == 0 for m in r2.inboxes[0])
+
+    def test_reset_discards_pending_as_dropped(self):
+        engine = PartiallySynchronousScheduler(3, max_delay=3, delay_prob=1.0, seed=1)
+        values = _values(3)
+        engine.run_round(0, _honest_plan(values))
+        pending = engine.pending_count()
+        assert pending > 0
+        engine.reset()
+        assert engine.pending_count() == 0
+        assert engine.stats["dropped"] == pending
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PartiallySynchronousScheduler(3, max_delay=-1)
+        with pytest.raises(ValueError):
+            PartiallySynchronousScheduler(3, delay_prob=1.5)
+
+
+class TestLossyScheduler:
+    def test_zero_drop_matches_synchronous(self):
+        n = 4
+        lossy = LossyScheduler(n, drop_rate=0.0, seed=0)
+        sync = SynchronousScheduler(n)
+        values = _values(n)
+        a = lossy.run_round(0, _honest_plan(values))
+        b = sync.run_round(0, _honest_plan(values))
+        for node in range(n):
+            assert a.senders(node) == b.senders(node)
+
+    def test_drops_are_seeded(self):
+        def senders(seed):
+            engine = LossyScheduler(5, drop_rate=0.4, seed=seed)
+            result = engine.run_round(0, _honest_plan(_values(5)))
+            return [result.senders(node) for node in range(5)]
+
+        assert senders(7) == senders(7)
+        assert senders(7) != senders(8)
+
+    def test_self_delivery_never_dropped(self):
+        engine = LossyScheduler(4, drop_rate=0.95, seed=2)
+        result = engine.run_round(0, _honest_plan(_values(4)))
+        for node in range(4):
+            assert node in result.senders(node)
+
+    def test_crash_window_silences_node_both_ways(self):
+        engine = LossyScheduler(4, crash_schedule=[(1, 0, 2)], seed=0)
+        values = _values(4)
+        r0 = engine.run_round(0, _honest_plan(values))
+        for node in range(4):
+            assert 1 not in r0.senders(node)
+        assert r0.senders(1) == []
+        engine.run_round(1, _honest_plan(values))
+        r2 = engine.run_round(2, _honest_plan(values))
+        # Recovery: the window [0, 2) is over on the third round.
+        assert 1 in r2.senders(0)
+        assert r2.senders(1) == [0, 1, 2, 3]
+        assert engine.stats["crash_omitted"] > 0
+
+    def test_crash_clock_is_monotone_across_resets(self):
+        engine = LossyScheduler(3, crash_schedule=[(0, 2, 3)], seed=0)
+        values = _values(3)
+        engine.run_round(0, _honest_plan(values))
+        engine.reset()  # exchange boundary must not rewind the clock
+        engine.run_round(0, _honest_plan(values))
+        result = engine.run_round(1, _honest_plan(values))  # global round 2
+        assert 0 not in result.senders(1)
+
+    def test_invalid_crash_windows(self):
+        with pytest.raises(ValueError):
+            LossyScheduler(3, crash_schedule=[(5, 0, 1)])
+        with pytest.raises(ValueError):
+            LossyScheduler(3, crash_schedule=[(0, 2, 2)])
+        with pytest.raises(ValueError):
+            LossyScheduler(3, crash_schedule=[(0, 1)])
+
+    def test_invalid_drop_rate(self):
+        with pytest.raises(ValueError):
+            LossyScheduler(3, drop_rate=1.0)
+
+
+class TestMakeScheduler:
+    def test_names(self):
+        assert isinstance(make_scheduler("synchronous", 4), SynchronousScheduler)
+        assert isinstance(make_scheduler("partial", 4, delay=1), PartiallySynchronousScheduler)
+        assert isinstance(make_scheduler("lossy", 4, drop_rate=0.1), LossyScheduler)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_scheduler("quantum", 4)
+
+    def test_mismatched_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("synchronous", 4, drop_rate=0.1)
+        with pytest.raises(ValueError):
+            make_scheduler("partial", 4)  # delay missing
+        with pytest.raises(ValueError):
+            make_scheduler("partial", 4, delay=1, drop_rate=0.2)
+        with pytest.raises(ValueError):
+            make_scheduler("lossy", 4, delay=2)
+
+
+class TestRunExchange:
+    def test_mean_exchange_converges(self):
+        engine = SynchronousScheduler(3)
+        initial = {i: np.full(2, float(i)) for i in range(3)}
+        final = run_exchange(
+            engine, initial, 1, lambda _n, received: received.mean(axis=0)
+        )
+        for vec in final.values():
+            np.testing.assert_allclose(vec, [1.0, 1.0])
+
+    def test_starved_node_keeps_vector(self):
+        # Node 1 is crashed for the round: it receives nothing and must
+        # simply carry its current vector instead of failing.
+        engine = LossyScheduler(3, crash_schedule=[(1, 0, 1)], seed=0)
+        # Quorum 2: the crashed node (0 messages) starves; the others
+        # still clear the bar with the two surviving senders.
+        engine.require_quorum(2, policy="starve")
+        initial = {i: np.full(2, float(i)) for i in range(3)}
+        final = run_exchange(
+            engine, initial, 1, lambda _n, received: received.mean(axis=0)
+        )
+        np.testing.assert_array_equal(final[1], initial[1])
+        np.testing.assert_allclose(final[0], [1.0, 1.0])
+
+    def test_empty_inbox_stalls_instead_of_raising(self):
+        # No quorum configured: the starved branch is off, so the node
+        # hits its empty inbox and must treat it as a stall.
+        engine = LossyScheduler(3, crash_schedule=[(1, 0, 1)], seed=0)
+        initial = {i: np.full(2, float(i)) for i in range(3)}
+        final = run_exchange(
+            engine, initial, 1, lambda _n, received: received.mean(axis=0)
+        )
+        np.testing.assert_array_equal(final[1], initial[1])
+
+    def test_negative_rounds_rejected(self):
+        engine = SynchronousScheduler(2)
+        with pytest.raises(ValueError):
+            run_exchange(engine, {0: np.zeros(1), 1: np.zeros(1)}, -1, lambda n, r: r)
+
+
+class TestTimingAttacks:
+    def _context(self, round_index=0, horizon=0):
+        return AttackContext(
+            node=3,
+            round_index=round_index,
+            own_vector=np.ones(2),
+            honest_vectors={0: np.array([1.0, 0.0]), 1: np.array([0.0, 1.0])},
+            rng=np.random.default_rng(0),
+            horizon=horizon,
+        )
+
+    def test_withhold_then_rush(self):
+        attack = WithholdThenRushAttack(withhold_rounds=2, scale=4.0)
+        assert attack.corrupt(self._context(round_index=0)) is None
+        assert attack.corrupt(self._context(round_index=1)) is None
+        late = attack.corrupt(self._context(round_index=2))
+        np.testing.assert_allclose(late, [-2.0, -2.0])
+
+    def test_selective_delay_targets_upper_half(self):
+        attack = SelectiveDelayAttack(delay=3)
+        delays = attack.send_delays(self._context(horizon=2))
+        # Late half capped at the horizon, early half pinned immediate.
+        assert delays == {0: 0, 1: 2}
+
+    def test_selective_delay_degrades_under_synchrony(self):
+        attack = SelectiveDelayAttack(delay=2)
+        assert attack.send_delays(self._context(horizon=0)) is None
+        payload = attack.corrupt(self._context(horizon=0))
+        np.testing.assert_allclose(payload, [-0.5, -0.5])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WithholdThenRushAttack(withhold_rounds=-1)
+        with pytest.raises(ValueError):
+            SelectiveDelayAttack(delay=0)
+
+
+class TestPlanDelayValidation:
+    def test_honest_sender_cannot_delay(self):
+        rb = ReliableBroadcast(3, byzantine=[2])
+        plan = BroadcastPlan(sender=0, payload=np.ones(1), delays={1: 1})
+        with pytest.raises(ValueError):
+            rb.validate_plan(plan)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            BroadcastPlan(sender=0, payload=np.ones(1), delays={1: -1})
