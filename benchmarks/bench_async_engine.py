@@ -1,0 +1,220 @@
+"""ASYNC-ENGINE — event-driven scheduler throughput and trace overhead.
+
+Not a figure of the paper; the smoke benchmark for
+:mod:`repro.engine.asynchronous`.  It drives the same mean-update
+agreement exchange through the synchronous baseline and the asynchronous
+scheduler (calm and bursty regimes, quorum and full-count wait
+conditions) and reports rounds/sec, so CI can track both the engine's
+event-driven overhead and the cost of the per-round delivery traces
+every stats-recording scheduler now keeps.
+
+Running it writes a ``BENCH_async_engine.json`` artifact (one row per
+case and size):
+
+    PYTHONPATH=src python benchmarks/bench_async_engine.py --smoke
+
+or through pytest:
+
+    pytest benchmarks/bench_async_engine.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+try:
+    from _harness import print_report, scaled
+except ImportError:  # pragma: no cover - direct script execution
+    sys.path.insert(0, __file__.rsplit("/", 1)[0])
+    from _harness import print_report, scaled
+
+from repro.engine import make_scheduler, run_exchange
+
+#: Scheduler configurations benchmarked against each other.  The
+#: synchronous row is the no-overhead baseline; the asynchronous rows
+#: cover calm vs. bursty delay regimes and quorum vs. timeout waiting.
+CASES = [
+    {"label": "synchronous", "scheduler": "synchronous", "kwargs": {}, "wait": None},
+    {
+        "label": "async(calm,quorum)",
+        "scheduler": "asynchronous",
+        "kwargs": {"wait_timeout": 2.0},
+        "wait": "quorum",
+    },
+    {
+        "label": "async(bursty,quorum)",
+        "scheduler": "asynchronous",
+        "kwargs": {"wait_timeout": 2.0, "burstiness": 0.3},
+        "wait": "quorum",
+    },
+    {
+        "label": "async(bursty,count=n)",
+        "scheduler": "asynchronous",
+        "kwargs": {"wait_timeout": 2.0, "burstiness": 0.3},
+        "wait": "count",
+    },
+]
+
+
+def measure_case(
+    case: Dict[str, object], *, n: int, d: int, rounds: int, seed: int = 0
+) -> Dict[str, object]:
+    """Time ``rounds`` mean-update exchange rounds on one case."""
+    engine = make_scheduler(
+        str(case["scheduler"]), n, seed=seed, keep_history=False,
+        **dict(case["kwargs"]),
+    )
+    engine.require_quorum(1, policy="starve")
+    if case["wait"] == "quorum":
+        engine.wait_for(quorum=True)
+    elif case["wait"] == "count":
+        engine.wait_for(count=n)
+    rng = np.random.default_rng(seed)
+    initial = {i: rng.normal(size=d) for i in range(n)}
+
+    start = time.perf_counter()
+    final = run_exchange(engine, initial, rounds, lambda _n, received: received.mean(axis=0))
+    seconds = time.perf_counter() - start
+
+    assert len(final) == n, "every node must come out of the exchange"
+    trace = engine.trace_snapshot()
+    return {
+        "label": case["label"],
+        "scheduler": case["scheduler"],
+        "kwargs": dict(case["kwargs"]),
+        "wait": case["wait"],
+        "n": n,
+        "d": d,
+        "rounds": rounds,
+        "seconds": seconds,
+        "rounds_per_sec": rounds / seconds if seconds > 0 else float("inf"),
+        "trace_rows": len(trace),
+        "stats": engine.stats_snapshot(),
+        "pending": getattr(engine, "pending_count", lambda: 0)(),
+    }
+
+
+def run_trajectory(smoke: bool = False) -> Dict[str, object]:
+    """Measure every case at one (smoke) or two sizes."""
+    if smoke:
+        sizes = [(10, 64, 200)]
+    else:
+        sizes = [(10, 64, scaled(500, 2000)), (25, 256, scaled(200, 1000))]
+    # Warm up BLAS / allocator before timing anything.
+    measure_case(CASES[0], n=4, d=8, rounds=10)
+    rows: List[Dict[str, object]] = [
+        measure_case(case, n=n, d=d, rounds=rounds)
+        for (n, d, rounds) in sizes
+        for case in CASES
+    ]
+    return {
+        "benchmark": "async_engine",
+        "created_unix": time.time(),
+        "smoke": smoke,
+        "cases": rows,
+    }
+
+
+def render_report(payload: Dict[str, object]) -> str:
+    lines = [
+        f"{'case':<24} {'n':>4} {'d':>5} {'rounds':>7} {'rounds/s':>9} "
+        f"{'delivered':>10} {'delayed':>8} {'pending':>8} {'trace':>6}"
+    ]
+    for row in payload["cases"]:
+        stats = row["stats"]
+        lines.append(
+            f"{row['label']:<24} {row['n']:>4} {row['d']:>5} {row['rounds']:>7} "
+            f"{row['rounds_per_sec']:>9.1f} {stats['delivered']:>10} "
+            f"{stats['delayed']:>8} {row['pending']:>8} {row['trace_rows']:>6}"
+        )
+    return "\n".join(lines)
+
+
+def check_sanity(payload: Dict[str, object]) -> None:
+    """Progress, conservation (asynchrony loses nothing) and trace shape."""
+    by_size: Dict[tuple, Dict[str, dict]] = {}
+    for row in payload["cases"]:
+        assert row["rounds_per_sec"] > 0, f"{row['label']} made no progress"
+        stats = row["stats"]
+        assert stats["delivered"] > 0, f"{row['label']} delivered nothing"
+        assert stats["dropped"] == 0, f"{row['label']} lost messages: {stats}"
+        if row["scheduler"] == "asynchronous":
+            # No-loss conservation: everything sent is delivered,
+            # expired, or still in flight.
+            accounted = (
+                stats["delivered"] + stats["expired_at_reset"] + row["pending"]
+            )
+            assert accounted == stats["sent"], (
+                f"{row['label']} counters do not add up: {stats}"
+            )
+            # One trace row per executed round.
+            assert row["trace_rows"] == row["rounds"], (
+                f"{row['label']} trace rows {row['trace_rows']} != rounds"
+            )
+        by_size.setdefault((row["n"], row["d"]), {})[row["label"]] = row
+    for size, cases in by_size.items():
+        sync = cases.get("synchronous")
+        if sync is None:
+            continue
+        for label, row in cases.items():
+            if label == "synchronous":
+                continue
+            # Delivery-trace + event-queue overhead stays within an order
+            # of magnitude of lock-step delivery.
+            slowdown = sync["rounds_per_sec"] / row["rounds_per_sec"]
+            assert slowdown < 25.0, (
+                f"{label} at {size} is {slowdown:.1f}x slower than synchronous"
+            )
+
+
+def write_artifact(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_async_engine_throughput():
+    """Pytest entry: trajectory + sanity checks + JSON artifact."""
+    payload = run_trajectory(smoke=False)
+    print_report(
+        "ASYNC-ENGINE",
+        "rounds/sec: event-driven scheduler vs synchronous baseline",
+        render_report(payload),
+    )
+    write_artifact(payload, "BENCH_async_engine.json")
+    check_sanity(payload)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single small size per case (CI mode)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_async_engine.json",
+        help="path of the JSON trajectory artifact",
+    )
+    args = parser.parse_args(argv)
+    payload = run_trajectory(smoke=args.smoke)
+    print_report(
+        "ASYNC-ENGINE",
+        "rounds/sec: event-driven scheduler vs synchronous baseline",
+        render_report(payload),
+    )
+    write_artifact(payload, args.output)
+    print(f"wrote {args.output}")
+    check_sanity(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -189,6 +189,11 @@ class AgreementProtocol:
         # models it is the scheduler's doing and the node just stalls.
         policy = "raise" if isinstance(engine, SynchronousScheduler) else "starve"
         self.engine.require_quorum(algorithm.minimum_messages(), policy=policy)
+        # Explicit wait condition for event-driven schedulers: a node
+        # processes its sub-round once the n - t quorum has arrived (or
+        # its wait window expires).  An explicit count configured on the
+        # engine beforehand wins over the quorum reading.
+        self.engine.wait_for(quorum=True)
         #: Backwards-compatible alias (this used to be a SynchronousNetwork).
         self.network = self.engine
 
@@ -218,7 +223,7 @@ class AgreementProtocol:
         adversary_plan = (
             attack_adversary_plan(
                 lambda _node: self.attack, byz_own, self._rng,
-                horizon=self.engine.horizon,
+                horizon=self.engine.horizon, engine=self.engine,
             )
             if self.byzantine
             else None

@@ -17,6 +17,7 @@ from repro.analysis.traces import (
 from repro.analysis.reporting import (
     comparison_table,
     delivery_rate,
+    delivery_trace_summary,
     histories_to_records,
     sweep_summary_table,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "classify_trace",
     "comparison_table",
     "delivery_rate",
+    "delivery_trace_summary",
     "histories_to_records",
     "moving_average",
     "relative_gap",

@@ -32,6 +32,10 @@ def histories_to_records(
         if history.network_stats:
             record["network_stats"] = dict(history.network_stats)
             record["delivery_rate"] = delivery_rate(history.network_stats)
+        if history.delivery_trace:
+            record["delivery_trace_summary"] = delivery_trace_summary(
+                history.delivery_trace
+            )
         records.append(record)
     return records
 
@@ -46,6 +50,25 @@ def delivery_rate(stats: Mapping[str, object]) -> float:
     if sent <= 0:
         return float("nan")
     return float(stats.get("delivered", 0) or 0) / sent
+
+
+def delivery_trace_summary(trace: Sequence[Mapping[str, int]]) -> Dict[str, object]:
+    """Compact reading of a per-round delivery trace.
+
+    Returns ``rounds`` (trace length), ``worst_deliv`` (the worst
+    per-round delivered/sent ratio over rounds that sent anything — the
+    depth of the worst burst or crash window) and ``late`` (total
+    messages that missed their send round).  This is what the sweep
+    summary table renders next to the cumulative ``deliv%``.
+    """
+    per_round = [
+        delivery_rate(row) for row in trace if int(row.get("sent", 0) or 0) > 0
+    ]
+    return {
+        "rounds": len(trace),
+        "worst_deliv": min(per_round) if per_round else float("nan"),
+        "late": int(sum(int(row.get("delayed", 0) or 0) for row in trace)),
+    }
 
 
 def comparison_table(
@@ -92,15 +115,22 @@ def sweep_summary_table(rows: Sequence[Mapping[str, object]]) -> str:
         name: max(len(name), *(len(str(row["axes"].get(name, ""))) for row in rows))
         for name in axis_names
     }
-    # Cells run on lossy / partially synchronous schedulers carry their
-    # delivery counters; surface the delivery rate when any cell has one.
+    # Cells run on non-synchronous schedulers carry their delivery
+    # counters; surface the delivery rate when any cell has one, and the
+    # per-round trace columns (worst round, late messages) when any cell
+    # recorded a trace.
     with_network = any(
         isinstance(row.get("summary", {}).get("network"), dict) for row in rows
+    )
+    with_trace = any(
+        isinstance(row.get("summary", {}).get("trace"), dict) for row in rows
     )
     header = " ".join(f"{name:<{widths[name]}s}" for name in axis_names)
     header += f" {'final':>7s} {'best':>7s} {'rounds':>7s}"
     if with_network:
         header += f" {'deliv%':>7s}"
+    if with_trace:
+        header += f" {'wrst%':>7s} {'late':>6s}"
     lines = [header, "-" * len(header)]
     from repro.io.results import metric_from_json
 
@@ -120,5 +150,12 @@ def sweep_summary_table(rows: Sequence[Mapping[str, object]]) -> str:
                 line += f" {100.0 * delivery_rate(network):>6.1f}%"
             else:
                 line += f" {'-':>7s}"
+        if with_trace:
+            trace = summary.get("trace")
+            if isinstance(trace, dict):
+                worst = metric_from_json(trace.get("worst_deliv"))
+                line += f" {100.0 * worst:>6.1f}% {int(trace.get('late', 0)):>6d}"
+            else:
+                line += f" {'-':>7s} {'-':>6s}"
         lines.append(line)
     return "\n".join(lines)

@@ -28,10 +28,15 @@ from repro.byzantine.magnitude import MagnitudeAttack
 from repro.byzantine.omniscient import OppositeOfMeanAttack
 from repro.byzantine.label_flip import LabelFlipAttack, flip_labels
 from repro.byzantine.partition import PartitionAttack
-from repro.byzantine.timing import SelectiveDelayAttack, WithholdThenRushAttack
+from repro.byzantine.timing import (
+    AdaptiveDelayAttack,
+    SelectiveDelayAttack,
+    WithholdThenRushAttack,
+)
 from repro.byzantine.registry import available_attacks, make_attack, register_attack
 
 __all__ = [
+    "AdaptiveDelayAttack",
     "AttackContext",
     "CrashAttack",
     "GaussianNoiseAttack",

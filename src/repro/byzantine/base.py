@@ -4,9 +4,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
+
+#: How many trailing per-round delivery-trace rows the engine exposes to
+#: a rushing adversary through :attr:`AttackContext.delivery_trace`.
+#: Adaptive attacks must size their observation windows within it.
+DELIVERY_TRACE_WINDOW = 8
 
 
 @dataclass
@@ -36,6 +41,13 @@ class AttackContext:
         message may lag behind its send round.  ``0`` under the
         synchronous scheduler — timing attacks inspect this to know how
         much slack the network gives them.
+    delivery_trace:
+        Tail of the engine's per-round delivery trace (most recent
+        last, at most :data:`DELIVERY_TRACE_WINDOW` rows): sparse
+        ``{"round", "sent", "delivered", "delayed", ...}`` counter
+        deltas.  Empty under schedulers that record no stats.  This is
+        what *adaptive* timing attacks observe — how well fed the
+        honest inboxes have recently been.
     """
 
     node: int
@@ -44,6 +56,7 @@ class AttackContext:
     honest_vectors: Dict[int, np.ndarray] = field(default_factory=dict)
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
     horizon: int = 0
+    delivery_trace: Tuple[Mapping[str, int], ...] = ()
 
     @property
     def dimension(self) -> int:

@@ -11,7 +11,11 @@ from repro.byzantine.magnitude import MagnitudeAttack
 from repro.byzantine.omniscient import OppositeOfMeanAttack
 from repro.byzantine.random_noise import GaussianNoiseAttack, RandomVectorAttack
 from repro.byzantine.sign_flip import SignFlipAttack
-from repro.byzantine.timing import SelectiveDelayAttack, WithholdThenRushAttack
+from repro.byzantine.timing import (
+    AdaptiveDelayAttack,
+    SelectiveDelayAttack,
+    WithholdThenRushAttack,
+)
 
 _REGISTRY: Dict[str, Type[GradientAttack]] = {}
 
@@ -49,5 +53,6 @@ for _name, _cls in [
     ("label-flip", LabelFlipAttack),
     ("withhold-rush", WithholdThenRushAttack),
     ("selective-delay", SelectiveDelayAttack),
+    ("adaptive-delay", AdaptiveDelayAttack),
 ]:
     register_attack(_name, _cls)

@@ -12,10 +12,17 @@ classical asynchronous attacks become expressible:
   the honest nodes and maximally delayed to the other half, so the two
   halves apply the Byzantine pull in different rounds and their views
   are driven apart.
+- :class:`AdaptiveDelayAttack` — reacts to the *observed* network: it
+  reads the engine's recent per-round delivery trace
+  (:attr:`AttackContext.delivery_trace`) and scales its lag with how
+  well fed the honest inboxes have been.  A healthy network can absorb
+  (and therefore deserves) the maximal delay; an already-starving one is
+  attacked immediately so the corrupted value lands in sparse inboxes
+  where its relative weight is largest.
 
-Both degrade gracefully under the synchronous scheduler (where
+All degrade gracefully under the synchronous scheduler (where
 ``context.horizon == 0``): withhold-then-rush reduces to a crash-then-
-sign-flip pattern, selective delay to a plain sign flip.
+sign-flip pattern, the delay attacks to a plain sign flip.
 """
 
 from __future__ import annotations
@@ -24,7 +31,11 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.byzantine.base import AttackContext, GradientAttack
+from repro.byzantine.base import (
+    DELIVERY_TRACE_WINDOW,
+    AttackContext,
+    GradientAttack,
+)
 
 
 def _honest_mean(context: AttackContext) -> np.ndarray:
@@ -93,3 +104,67 @@ class SelectiveDelayAttack(GradientAttack):
         delays = {node: 0 for node in honest[:half]}
         delays.update({node: lag for node in honest[half:]})
         return delays
+
+
+class AdaptiveDelayAttack(GradientAttack):
+    """Pick the lag from the observed delivery history.
+
+    The attack watches the recent per-round delivery trace the engine
+    exposes to rushing adversaries (:attr:`AttackContext.delivery_trace`)
+    and estimates the mean honest inbox fill — delivered messages per
+    round relative to what was sent.  The healthier the network has
+    recently been, the longer the attack holds its corrupted value back
+    (up to ``min(max_lag, horizon)``); when inboxes are already starving
+    it sends immediately, maximising the corrupted value's relative
+    weight in the sparse inboxes.  With no trace yet (round 0, or a
+    stats-less scheduler) it falls back to the maximal lag.
+
+    Parameters
+    ----------
+    max_lag:
+        Largest lag the attack ever requests (capped at the horizon).
+    window:
+        Number of trailing trace rounds the estimate averages over.
+        Bounded by :data:`~repro.byzantine.base.DELIVERY_TRACE_WINDOW`,
+        the most the engine exposes — a larger window would silently
+        behave like the bound, so it is rejected instead.
+    scale:
+        Payload magnitude: the attack broadcasts
+        ``-scale * mean(honest values)``.
+    """
+
+    name = "adaptive-delay"
+
+    def __init__(self, max_lag: int = 3, window: int = 4, scale: float = 1.0) -> None:
+        if max_lag < 1:
+            raise ValueError(f"max_lag must be positive, got {max_lag}")
+        if not 1 <= window <= DELIVERY_TRACE_WINDOW:
+            raise ValueError(
+                f"window must be in [1, {DELIVERY_TRACE_WINDOW}] (the engine exposes "
+                f"at most {DELIVERY_TRACE_WINDOW} trace rounds), got {window}"
+            )
+        self.max_lag = int(max_lag)
+        self.window = int(window)
+        self.scale = float(scale)
+
+    def corrupt(self, context: AttackContext) -> Optional[np.ndarray]:
+        if not context.honest_vectors:
+            return None
+        return -self.scale * _honest_mean(context)
+
+    def observed_fill(self, context: AttackContext) -> float:
+        """Mean delivered/sent ratio over the trailing trace window."""
+        recent = context.delivery_trace[-self.window:]
+        sent = sum(row.get("sent", 0) for row in recent)
+        if sent <= 0:
+            return 1.0
+        return min(1.0, sum(row.get("delivered", 0) for row in recent) / sent)
+
+    def send_delays(self, context: AttackContext) -> Optional[Dict[int, int]]:
+        ceiling = min(self.max_lag, context.horizon)
+        if ceiling <= 0:
+            return None
+        lag = int(round(self.observed_fill(context) * ceiling))
+        if lag <= 0:
+            return None
+        return {node: lag for node in sorted(context.honest_vectors)}

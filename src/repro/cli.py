@@ -34,7 +34,11 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.aggregation.registry import available_rules
 from repro.agreement.registry import available_algorithms
-from repro.analysis.reporting import comparison_table, sweep_summary_table
+from repro.analysis.reporting import (
+    comparison_table,
+    delivery_trace_summary,
+    sweep_summary_table,
+)
 from repro.byzantine.registry import available_attacks
 from repro.engine import SCHEDULER_NAMES
 from repro.io.results import metric_from_json, save_histories
@@ -61,6 +65,15 @@ def _experiment_flags(parser: argparse.ArgumentParser) -> None:
                         help="delivery horizon in rounds (scheduler=partial only)")
     parser.add_argument("--drop-rate", type=float, default=0.0,
                         help="per-link message loss probability (scheduler=lossy only)")
+    parser.add_argument("--wait-timeout", type=float, default=0.0,
+                        help="wait window in virtual rounds (scheduler=asynchronous "
+                             "only; required > 0 there)")
+    parser.add_argument("--wait-count", type=int, default=0,
+                        help="explicit per-round message target (scheduler="
+                             "asynchronous only; 0 = the consumer's quorum)")
+    parser.add_argument("--burstiness", type=float, default=0.0,
+                        help="probability of entering the bursty delay regime per "
+                             "round (scheduler=asynchronous only)")
     parser.add_argument("--save", type=str, default=None, help="write the histories to this JSON file")
 
 
@@ -84,6 +97,9 @@ def _build_config(args: argparse.Namespace, aggregation: str) -> ExperimentConfi
         scheduler=args.scheduler,
         delay=args.delay,
         drop_rate=args.drop_rate,
+        wait_count=args.wait_count,
+        wait_timeout=args.wait_timeout,
+        burstiness=args.burstiness,
     )
 
 
@@ -96,6 +112,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if history.network_stats:
         counters = "  ".join(f"{k}={v}" for k, v in sorted(history.network_stats.items()))
         print(f"network delivery: {counters}")
+    if history.delivery_trace:
+        trace = delivery_trace_summary(history.delivery_trace)
+        print(
+            f"delivery trace: {trace['rounds']} rounds, "
+            f"worst round deliv {100.0 * trace['worst_deliv']:.1f}%, "
+            f"{trace['late']} late messages"
+        )
     if args.save:
         path = save_histories({args.aggregation: history}, args.save)
         print(f"history written to {path}")

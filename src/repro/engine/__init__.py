@@ -15,20 +15,26 @@ Scheduler                                  Timing model
                                            by a delivery horizon
 :class:`LossyScheduler`                    seeded per-link loss plus
                                            transient crash windows
+:class:`AsynchronousScheduler`             event-driven, no horizon:
+                                           heavy-tailed regime-modulated
+                                           delays + explicit wait
+                                           conditions
 ========================================  =================================
 
 Agreement, centralized and decentralized learning all run on this one
 engine (see :func:`repro.engine.rounds.run_exchange`); experiment
 configurations select a scheduler by name through
 :func:`make_scheduler`, which is what the ``scheduler`` / ``delay`` /
-``drop_rate`` / ``crash_schedule`` sweep axes feed.
+``drop_rate`` / ``crash_schedule`` / ``wait_count`` / ``wait_timeout`` /
+``burstiness`` sweep axes feed.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence
 
-from repro.engine.base import RoundEngine
+from repro.engine.asynchronous import AsynchronousScheduler
+from repro.engine.base import RoundEngine, WaitCondition
 from repro.engine.lossy import LossyScheduler, normalise_crash_schedule
 from repro.engine.partial import PartiallySynchronousScheduler
 from repro.engine.rounds import attack_adversary_plan, run_exchange
@@ -37,7 +43,7 @@ from repro.utils.rng import SeedLike
 
 #: Scheduler names accepted by :func:`make_scheduler` (and the
 #: ``ExperimentConfig.scheduler`` field / sweep axis).
-SCHEDULER_NAMES = ("synchronous", "partial", "lossy")
+SCHEDULER_NAMES = ("synchronous", "partial", "lossy", "asynchronous")
 
 
 def make_scheduler(
@@ -49,6 +55,9 @@ def make_scheduler(
     delay_prob: float = 0.5,
     drop_rate: float = 0.0,
     crash_schedule: Iterable[Sequence[int]] = (),
+    wait_count: int = 0,
+    wait_timeout: float = 0.0,
+    burstiness: float = 0.0,
     seed: SeedLike = 0,
     keep_history: bool = True,
     max_history: Optional[int] = None,
@@ -58,12 +67,15 @@ def make_scheduler(
 
     ``delay`` is the delivery horizon of the partially synchronous
     scheduler (required >= 1 there, meaningless elsewhere);
-    ``drop_rate`` and ``crash_schedule`` configure the lossy scheduler.
-    Passing a knob to a scheduler that cannot honour it is an error —
-    a sweep axis that silently did nothing would corrupt conclusions.
-    ``require_full_broadcast=False`` builds the engine in star mode
-    (honest senders may address a single receiver — the centralized
-    trainer's client -> server exchange).
+    ``drop_rate`` and ``crash_schedule`` configure the lossy scheduler;
+    ``wait_count`` / ``wait_timeout`` / ``burstiness`` configure the
+    event-driven asynchronous scheduler (``wait_timeout`` required > 0
+    there — it has no delivery horizon, so the wait window must be
+    explicit).  Passing a knob to a scheduler that cannot honour it is
+    an error — a sweep axis that silently did nothing would corrupt
+    conclusions.  ``require_full_broadcast=False`` builds the engine in
+    star mode (honest senders may address a single receiver — the
+    centralized trainer's client -> server exchange).
     """
     key = str(name).strip().lower()
     common = dict(
@@ -71,6 +83,11 @@ def make_scheduler(
         max_history=max_history,
         require_full_broadcast=require_full_broadcast,
     )
+    if key != "asynchronous" and (wait_count or wait_timeout or burstiness):
+        raise ValueError(
+            "wait_count/wait_timeout/burstiness are only meaningful for "
+            "scheduler='asynchronous'"
+        )
     if key == "synchronous":
         if delay or drop_rate or tuple(crash_schedule):
             raise ValueError(
@@ -97,15 +114,32 @@ def make_scheduler(
             n, byzantine, drop_rate=drop_rate, crash_schedule=crash_schedule,
             seed=seed, **common,
         )
+    if key == "asynchronous":
+        if delay or drop_rate or tuple(crash_schedule):
+            raise ValueError(
+                "the asynchronous scheduler draws its own delays; it takes no "
+                "delay/drop_rate/crash_schedule"
+            )
+        if wait_timeout <= 0.0:
+            raise ValueError(
+                "scheduler='asynchronous' needs wait_timeout > 0 (there is no "
+                "delivery horizon; the wait window must be explicit)"
+            )
+        return AsynchronousScheduler(
+            n, byzantine, wait_count=wait_count, timeout_rounds=wait_timeout,
+            burstiness=burstiness, seed=seed, **common,
+        )
     raise ValueError(f"unknown scheduler {name!r}; available: {SCHEDULER_NAMES}")
 
 
 __all__ = [
+    "AsynchronousScheduler",
     "LossyScheduler",
     "PartiallySynchronousScheduler",
     "RoundEngine",
     "SCHEDULER_NAMES",
     "SynchronousScheduler",
+    "WaitCondition",
     "attack_adversary_plan",
     "make_scheduler",
     "normalise_crash_schedule",

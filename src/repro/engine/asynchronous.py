@@ -1,0 +1,231 @@
+"""Event-driven asynchronous scheduler: no delivery horizon.
+
+The partially synchronous scheduler bounds every lag by a known horizon;
+real asynchronous message processes have no such bound and are bursty
+rather than uniformly delayed (MMPP-style traffic has a squared
+coefficient of variation above one).  This scheduler models that
+directly:
+
+- **Arrival times, not lags.**  Every (sender, receiver) link draws a
+  continuous delay from a seeded heavy-tailed (Pareto) distribution and
+  the message is booked at ``send_time + delay`` on the engine's
+  monotone round clock.  There is no cap: a message may arrive many
+  rounds late.
+- **Regime modulation.**  A two-state Markov chain (calm / bursty,
+  advanced once per round) multiplies the drawn delays by
+  ``burst_factor`` while the network is in the bursty regime — the
+  MMPP-flavoured burstiness knob, exposed as the ``burstiness`` config
+  field.
+- **Wait conditions instead of a full inbox.**  With no horizon a node
+  cannot know when "everything" has arrived, so consumers must state an
+  explicit :class:`~repro.engine.base.WaitCondition` via
+  :meth:`~repro.engine.base.RoundEngine.wait_for`: the node processes
+  its round once ``count`` (or the quorum) messages have arrived, or
+  after ``timeout_rounds`` of virtual waiting, whichever comes first —
+  delivering *everything* arrived by that decision time.  Submitting a
+  round without a wait condition is an error by design.
+
+Common random numbers: the per-link delay variate is drawn for every
+link of every round in a fixed order, whether or not an adversary pins
+that link's lag through ``BroadcastPlan.delays``, so paired-seed
+scenarios stay comparable across attack and wait-condition changes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.base import RoundEngine
+from repro.network.message import Message
+from repro.network.reliable_broadcast import BroadcastPlan
+from repro.utils.rng import SeedLike, as_generator
+
+#: (arrival_time, send_round, sender, message) — the sort key order is
+#: the delivery order, which keeps executions deterministic per seed.
+_InFlight = Tuple[float, int, int, Message]
+
+
+class AsynchronousScheduler(RoundEngine):
+    """Event-driven delivery with heavy-tailed, regime-modulated delays.
+
+    Parameters
+    ----------
+    delay_scale:
+        Scale of the Pareto delay (in rounds) while the network is calm.
+    tail_index:
+        Pareto tail exponent ``alpha > 1`` (smaller = heavier tail).
+    burstiness:
+        Per-round probability of entering the bursty regime, in
+        ``[0, 1)``.  ``0`` disables modulation entirely.
+    burst_factor:
+        Delay multiplier while bursty.
+    calm_prob:
+        Per-round probability of leaving the bursty regime.
+    timeout_rounds:
+        Default wait timeout (virtual rounds past the round start) used
+        when the wait condition does not pin its own.
+    wait_count:
+        Optional explicit message target installed as the initial wait
+        condition (``0`` leaves it unset for consumers to fill in).
+    seed:
+        Seed of the scheduler's delay/regime generator.
+    """
+
+    records_stats = True
+
+    def __init__(
+        self,
+        n: int,
+        byzantine: Iterable[int] = (),
+        *,
+        delay_scale: float = 0.5,
+        tail_index: float = 2.5,
+        burstiness: float = 0.0,
+        burst_factor: float = 6.0,
+        calm_prob: float = 0.5,
+        timeout_rounds: float = 4.0,
+        wait_count: int = 0,
+        seed: SeedLike = 0,
+        keep_history: bool = True,
+        max_history: Optional[int] = None,
+        require_full_broadcast: bool = True,
+    ) -> None:
+        super().__init__(
+            n, byzantine, keep_history=keep_history, max_history=max_history,
+            require_full_broadcast=require_full_broadcast,
+        )
+        if delay_scale < 0.0:
+            raise ValueError(f"delay_scale must be non-negative, got {delay_scale}")
+        if tail_index <= 1.0:
+            raise ValueError(
+                f"tail_index must exceed 1 (finite-mean Pareto), got {tail_index}"
+            )
+        if not 0.0 <= burstiness < 1.0:
+            raise ValueError(f"burstiness must be in [0, 1), got {burstiness}")
+        if burst_factor < 1.0:
+            raise ValueError(f"burst_factor must be >= 1, got {burst_factor}")
+        if not 0.0 < calm_prob <= 1.0:
+            raise ValueError(f"calm_prob must be in (0, 1], got {calm_prob}")
+        if timeout_rounds <= 0.0:
+            raise ValueError(f"timeout_rounds must be positive, got {timeout_rounds}")
+        if wait_count < 0:
+            raise ValueError(f"wait_count must be non-negative, got {wait_count}")
+        self.delay_scale = float(delay_scale)
+        self.tail_index = float(tail_index)
+        self.burstiness = float(burstiness)
+        self.burst_factor = float(burst_factor)
+        self.calm_prob = float(calm_prob)
+        self.timeout_rounds = float(timeout_rounds)
+        if wait_count:
+            self.wait_for(count=wait_count)
+        #: Timing attacks read the default wait window as their slack.
+        self.horizon = max(1, int(math.ceil(self.timeout_rounds)))
+        self.stats["expired_at_reset"] = 0
+        self._rng = as_generator(seed)
+        self._bursty = False
+        self._pending: Dict[int, List[_InFlight]] = {node: [] for node in range(self.n)}
+
+    # -- delay model -----------------------------------------------------------
+    def _advance_regime(self) -> None:
+        """One step of the calm/bursty modulating chain (drawn every round)."""
+        u = self._rng.random()
+        if self._bursty:
+            self._bursty = u >= self.calm_prob
+        else:
+            self._bursty = u < self.burstiness
+
+    def _draw_delay(self) -> float:
+        """One heavy-tailed link delay in rounds (Pareto, regime-scaled)."""
+        u = self._rng.random()
+        delay = self.delay_scale * ((1.0 - u) ** (-1.0 / self.tail_index) - 1.0)
+        return delay * self.burst_factor if self._bursty else delay
+
+    # -- wait-condition resolution --------------------------------------------
+    def _wait_target(self) -> int:
+        if self.wait.count is not None:
+            return self.wait.count
+        if self.wait.quorum:
+            return self._min_honest_messages
+        raise RuntimeError(
+            "the asynchronous scheduler has no delivery horizon; consumers must "
+            "state an explicit wait condition via wait_for(count=... | quorum=True) "
+            "before submitting a round"
+        )
+
+    def _decision_time(self, arrivals: List[float], t0: float, target: int) -> float:
+        """When a node stops waiting: ``target`` arrivals or the timeout.
+
+        ``arrivals`` must be sorted ascending.  The node never decides
+        before the round starts (messages already queued count) and
+        never waits past ``t0 + timeout``.
+        """
+        timeout = (
+            self.wait.timeout_rounds
+            if self.wait.timeout_rounds is not None
+            else self.timeout_rounds
+        )
+        deadline = t0 + timeout
+        if 0 < target <= len(arrivals):
+            return min(deadline, max(t0, arrivals[target - 1]))
+        return deadline
+
+    # -- delivery --------------------------------------------------------------
+    def _deliver(
+        self, plans: Sequence[BroadcastPlan], round_index: int
+    ) -> Dict[int, List[Message]]:
+        target = self._wait_target()  # fail fast, before any RNG draw
+        t0 = float(self.rounds_executed)
+        self._advance_regime()
+        fresh: List[Tuple[int, _InFlight]] = []
+        for plan, message in self._validated_messages(plans, round_index):
+            for receiver in range(self.n):
+                if not plan.delivers_to(receiver):
+                    continue
+                # Draw unconditionally (common random numbers), then let
+                # self-delivery / pinned adversary lags override.
+                drawn = self._draw_delay()
+                if receiver == plan.sender:
+                    lag = 0.0
+                elif plan.delays is not None and receiver in plan.delays:
+                    lag = float(plan.delay_to(receiver))  # uncapped: no horizon
+                else:
+                    lag = drawn
+                self.stats["sent"] += 1
+                entry = (t0 + lag, round_index, plan.sender, message)
+                self._pending[receiver].append(entry)
+                fresh.append((receiver, entry))
+
+        inboxes: Dict[int, List[Message]] = {node: [] for node in range(self.n)}
+        decisions: Dict[int, float] = {}
+        for receiver in range(self.n):
+            queue = sorted(self._pending[receiver], key=lambda e: e[:3])
+            decision = self._decision_time([e[0] for e in queue], t0, target)
+            decisions[receiver] = decision
+            arrived = [e for e in queue if e[0] <= decision]
+            self._pending[receiver] = [e for e in queue if e[0] > decision]
+            for _arrival, _send_round, _sender, message in arrived:
+                inboxes[receiver].append(message)
+                self.stats["delivered"] += 1
+        # A message sent this round but not delivered in it was late.
+        self.stats["delayed"] += sum(
+            1 for receiver, entry in fresh if entry[0] > decisions[receiver]
+        )
+        return inboxes
+
+    # -- lifecycle -------------------------------------------------------------
+    def pending_count(self) -> int:
+        """Messages currently in flight (sent but not yet delivered)."""
+        return sum(len(queue) for queue in self._pending.values())
+
+    def reset(self) -> None:
+        """Drop history and expire in-flight messages at the exchange boundary.
+
+        Asynchrony never loses messages; ones still in flight when an
+        exchange ends simply arrive too late to matter and are counted
+        under ``expired_at_reset`` (never ``dropped``).
+        """
+        self.stats["expired_at_reset"] += self.pending_count()
+        for queue in self._pending.values():
+            queue.clear()
+        super().reset()

@@ -15,13 +15,17 @@ Concrete schedulers:
 - :class:`~repro.engine.partial.PartiallySynchronousScheduler` —
   per-link random delays bounded by a delivery horizon;
 - :class:`~repro.engine.lossy.LossyScheduler` — seeded per-link message
-  loss plus transient crash/recovery windows.
+  loss plus transient crash/recovery windows;
+- :class:`~repro.engine.asynchronous.AsynchronousScheduler` —
+  event-driven delivery with no horizon: heavy-tailed regime-modulated
+  arrival times and explicit per-node :class:`WaitCondition`s.
 """
 
 from __future__ import annotations
 
 import abc
 from collections import deque
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.network.delivery import (
@@ -33,6 +37,47 @@ from repro.network.delivery import (
 )
 from repro.network.message import Message
 from repro.network.reliable_broadcast import BroadcastPlan, ReliableBroadcast
+
+
+@dataclass(frozen=True)
+class WaitCondition:
+    """When a node stops waiting for its round inbox.
+
+    Horizon-based schedulers (synchronous, partial, lossy) decide
+    delivery on their own and ignore this; the event-driven
+    :class:`~repro.engine.asynchronous.AsynchronousScheduler` has no
+    delivery horizon, so every consumer must state explicitly how long a
+    node waits before processing whatever has arrived:
+
+    - ``count`` — wait until this many messages (own delivery included)
+      have arrived for the round;
+    - ``quorum`` — wait until the engine's configured quorum
+      (:meth:`RoundEngine.require_quorum`) has arrived;
+    - ``timeout_rounds`` — never wait longer than this many rounds of
+      virtual time past the round start, whether or not the target was
+      reached (``None`` falls back to the scheduler's default).
+
+    ``count`` wins over ``quorum`` when both are set, which lets an
+    experiment config pin an explicit count while consumers request the
+    quorum reading as their default.
+    """
+
+    count: Optional[int] = None
+    quorum: bool = False
+    timeout_rounds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.count is not None and self.count < 0:
+            raise ValueError(f"wait count must be non-negative, got {self.count}")
+        if self.timeout_rounds is not None and self.timeout_rounds <= 0:
+            raise ValueError(
+                f"wait timeout_rounds must be positive, got {self.timeout_rounds}"
+            )
+
+    @property
+    def explicit(self) -> bool:
+        """Whether the condition names a message target at all."""
+        return self.count is not None or self.quorum
 
 
 class RoundEngine(abc.ABC):
@@ -90,6 +135,10 @@ class RoundEngine(abc.ABC):
         self.stats: Dict[str, int] = {
             "sent": 0, "delivered": 0, "dropped": 0, "delayed": 0, "crash_omitted": 0,
         }
+        #: Per-round delivery deltas (see :meth:`trace_snapshot`); only
+        #: populated by schedulers whose delivery is worth reporting.
+        self.traces: List[Dict[str, int]] = []
+        self.wait = WaitCondition()
         #: Monotone count of rounds this engine has executed, across
         #: exchanges.  Crash schedules are expressed against this clock,
         #: so a window covers wall-clock training rounds even when the
@@ -112,6 +161,33 @@ class RoundEngine(abc.ABC):
         self._min_honest_messages = int(quorum)
         self._quorum_policy = policy
 
+    def wait_for(
+        self,
+        *,
+        count: Optional[int] = None,
+        quorum: Optional[bool] = None,
+        timeout_rounds: Optional[float] = None,
+    ) -> WaitCondition:
+        """Set (merge into) the engine's per-node wait condition.
+
+        Only the provided fields are updated, so a consumer requesting
+        the quorum reading (``wait_for(quorum=True)``) never clobbers an
+        explicit ``count`` the experiment configuration pinned earlier.
+        Horizon-based schedulers store but ignore the condition; the
+        asynchronous scheduler refuses to run without one.  Returns the
+        merged condition.
+        """
+        self.wait = WaitCondition(
+            count=self.wait.count if count is None else int(count),
+            quorum=self.wait.quorum if quorum is None else bool(quorum),
+            timeout_rounds=(
+                self.wait.timeout_rounds
+                if timeout_rounds is None
+                else float(timeout_rounds)
+            ),
+        )
+        return self.wait
+
     # -- execution ------------------------------------------------------------
     def run_round(
         self,
@@ -133,7 +209,18 @@ class RoundEngine(abc.ABC):
         them here; :meth:`run_round` is the full-broadcast convenience
         wrapper on top.
         """
+        before = dict(self.stats) if self.records_stats else None
         inboxes = self._deliver(plans, round_index)
+        if before is not None:
+            # One sparse delta row per executed round, stamped with the
+            # engine's monotone clock: sent/delivered/delayed/dropped for
+            # this round, plus whatever scheduler-specific counters moved.
+            delta = {
+                key: value - before.get(key, 0)
+                for key, value in self.stats.items()
+                if value - before.get(key, 0)
+            }
+            self.traces.append({"round": self.rounds_executed, **delta})
         self.rounds_executed += 1
         starved = enforce_quorum(
             inboxes,
@@ -209,6 +296,29 @@ class RoundEngine(abc.ABC):
     def stats_snapshot(self) -> Dict[str, int]:
         """Copy of the cumulative delivery counters."""
         return dict(self.stats)
+
+    def trace_snapshot(self) -> List[Dict[str, int]]:
+        """Copy of the per-round delivery trace.
+
+        One sparse dictionary per executed round: ``{"round": <monotone
+        clock>, "sent": ..., "delivered": ..., ...}`` with zero counters
+        omitted.  Empty for schedulers that do not record stats.  Unlike
+        :attr:`history`, traces survive :meth:`reset` — they summarise a
+        whole training run, exchange boundaries included.
+        """
+        return [dict(row) for row in self.traces]
+
+    def trace_tail(self) -> Tuple[Dict[str, int], ...]:
+        """The trace tail a rushing adversary may observe.
+
+        The single definition of the engine-to-attack exposure contract
+        (:attr:`repro.byzantine.base.AttackContext.delivery_trace`): the
+        last :data:`~repro.byzantine.base.DELIVERY_TRACE_WINDOW` rows,
+        most recent last.
+        """
+        from repro.byzantine.base import DELIVERY_TRACE_WINDOW
+
+        return tuple(self.traces[-DELIVERY_TRACE_WINDOW:])
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(n={self.n}, byzantine={sorted(self.byzantine)})"

@@ -17,6 +17,12 @@ alike — they model the *network*, not the adversary.  Combined with
 ``require_quorum(..., policy="starve")`` the consumers stall a starved
 node for a round instead of aborting, which is how the trainers survive
 nonzero drop rates end to end.
+
+Delivery accounting: ``sent == delivered + dropped + crash_omitted``
+holds exactly.  Sends a crashed sender never performed are counted under
+``suppressed`` (not ``sent``), and the per-link drop variate is drawn
+with common random numbers — unconditionally, in a fixed link order — so
+paired-seed scenarios remain comparable across crash schedules.
 """
 
 from __future__ import annotations
@@ -89,6 +95,9 @@ class LossyScheduler(RoundEngine):
         self.drop_rate = float(drop_rate)
         self.crash_schedule = normalise_crash_schedule(crash_schedule, self.n)
         self._rng = as_generator(seed)
+        #: Sends a crashed sender never performed — kept out of ``sent``
+        #: so the delivery-rate denominator only counts real sends.
+        self.stats["suppressed"] = 0
 
     def is_crashed(self, node: int, clock: Optional[int] = None) -> bool:
         """Whether ``node`` is inside a crash window at ``clock``."""
@@ -108,14 +117,27 @@ class LossyScheduler(RoundEngine):
             for receiver in range(self.n):
                 if not plan.delivers_to(receiver):
                     continue
+                # Common random numbers: the per-link drop variate is
+                # drawn whether or not the crash schedule voids the link,
+                # so changing `crash_schedule` never reshuffles which of
+                # the surviving links drop for a fixed seed.
+                link_drops = (
+                    receiver != plan.sender
+                    and self.drop_rate > 0.0
+                    and self._rng.random() < self.drop_rate
+                )
+                if sender_down:
+                    # A crashed node "neither sends nor receives": this
+                    # message never left the sender, so it is not `sent`.
+                    self.stats["suppressed"] += 1
+                    continue
                 self.stats["sent"] += 1
-                if sender_down or self.is_crashed(receiver, clock):
+                if self.is_crashed(receiver, clock):
                     self.stats["crash_omitted"] += 1
                     continue
-                if receiver != plan.sender and self.drop_rate > 0.0:
-                    if self._rng.random() < self.drop_rate:
-                        self.stats["dropped"] += 1
-                        continue
+                if link_drops:
+                    self.stats["dropped"] += 1
+                    continue
                 inboxes[receiver].append(message)
                 self.stats["delivered"] += 1
         return inboxes

@@ -67,6 +67,10 @@ class PartiallySynchronousScheduler(RoundEngine):
         self.horizon = self.max_delay
         self.delay_prob = float(delay_prob)
         self._rng = as_generator(seed)
+        #: In-flight messages flushed at exchange boundaries.  Kept apart
+        #: from ``dropped`` (this model never loses a message in transit)
+        #: so ``sent == delivered + expired_at_reset + pending`` holds.
+        self.stats["expired_at_reset"] = 0
         # arrival round -> [(send_round, sender, receiver, message)]
         self._pending: Dict[int, List[Tuple[int, int, int, Message]]] = {}
 
@@ -113,11 +117,15 @@ class PartiallySynchronousScheduler(RoundEngine):
         return sum(len(batch) for batch in self._pending.values())
 
     def reset(self) -> None:
-        """Drop history and discard in-flight messages (counted as dropped).
+        """Drop history and expire in-flight messages at the exchange boundary.
 
         An exchange boundary is a synchronisation point: messages still
         in flight when the exchange ends never reach their receivers.
+        They are booked under ``expired_at_reset`` — never ``dropped``,
+        because this model's contract is that the network itself loses
+        nothing — keeping ``sent == delivered + expired_at_reset +
+        pending`` consistent across exchanges.
         """
-        self.stats["dropped"] += self.pending_count()
+        self.stats["expired_at_reset"] += self.pending_count()
         self._pending.clear()
         super().reset()

@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from repro.byzantine.base import AttackContext, GradientAttack
-from repro.engine.base import RoundEngine
+from repro.engine.base import RoundEngine, WaitCondition
 from repro.network.delivery import (
     AdversaryPlanFn,
     EmptyInboxError,
@@ -42,6 +42,7 @@ def attack_adversary_plan(
     rng: np.random.Generator,
     *,
     horizon: int = 0,
+    engine: Optional[RoundEngine] = None,
     extra_metadata: Optional[dict] = None,
 ) -> AdversaryPlanFn:
     """Adversary plan callback driving each Byzantine node's attack.
@@ -50,7 +51,10 @@ def attack_adversary_plan(
     (``None`` = crashed / silent).  ``own_vectors`` holds the vector each
     Byzantine node *would* have sent honestly; ``horizon`` is the
     engine's delivery horizon, exposed to timing-aware attacks through
-    :attr:`AttackContext.horizon`.
+    :attr:`AttackContext.horizon`.  Passing ``engine`` additionally
+    exposes the tail of its per-round delivery trace through
+    :attr:`AttackContext.delivery_trace`, which is what *adaptive*
+    timing attacks key their delays on.
     """
 
     def plan(node: int, round_index: int, honest_values: Dict[int, np.ndarray]) -> BroadcastPlan:
@@ -64,6 +68,7 @@ def attack_adversary_plan(
             honest_vectors=honest_values,
             rng=rng,
             horizon=horizon,
+            delivery_trace=engine.trace_tail() if engine is not None else (),
         )
         payload = attack.corrupt(context)
         recipients = attack.recipients(context)
@@ -90,6 +95,7 @@ def run_exchange(
     adversary_plan: Optional[AdversaryPlanFn] = None,
     *,
     on_round: Optional[OnRoundFn] = None,
+    wait: Optional[WaitCondition] = None,
 ) -> Dict[int, np.ndarray]:
     """Run ``rounds`` broadcast/update rounds from the ``initial`` vectors.
 
@@ -100,10 +106,19 @@ def run_exchange(
     keep their current vector for the round.  ``on_round`` observes
     ``(round_index, round_result, new_vectors)`` after every round.
 
+    ``wait`` optionally installs a :class:`WaitCondition` on the engine
+    before the first round — required by event-driven schedulers with no
+    delivery horizon, ignored by the lock-step ones.
+
     Returns the honest vectors after the final round.
     """
     if rounds < 0:
         raise ValueError("rounds must be non-negative")
+    if wait is not None:
+        engine.wait_for(
+            count=wait.count, quorum=wait.quorum or None,
+            timeout_rounds=wait.timeout_rounds,
+        )
     current = dict(initial)
     for round_index in range(rounds):
         result = engine.run_round(

@@ -20,13 +20,18 @@ PathLike = Union[str, Path]
 def history_to_dict(history: TrainingHistory) -> dict:
     """Convert a history (including all round records) to plain data.
 
-    ``network_stats`` is only emitted when present (runs on lossy /
-    partially synchronous schedulers), so synchronous-run dictionaries
-    are identical to those written before the round-engine refactor.
+    ``network_stats`` and ``delivery_trace`` are only emitted when
+    present (runs on non-synchronous schedulers), so synchronous-run
+    dictionaries are identical to those written before the round-engine
+    refactor.
     """
     data = _history_base_dict(history)
     if history.network_stats:
         data["network_stats"] = {k: int(v) for k, v in history.network_stats.items()}
+    if history.delivery_trace:
+        data["delivery_trace"] = [
+            {k: int(v) for k, v in row.items()} for row in history.delivery_trace
+        ]
     return data
 
 
@@ -78,6 +83,10 @@ def history_from_dict(data: dict) -> TrainingHistory:
         network_stats={
             str(k): int(v) for k, v in data.get("network_stats", {}).items()
         },
+        delivery_trace=[
+            {str(k): int(v) for k, v in row.items()}
+            for row in data.get("delivery_trace", [])
+        ],
     )
     for record in data.get("records", []):
         history.append(

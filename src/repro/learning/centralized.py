@@ -116,6 +116,12 @@ class CentralizedTrainer:
             if rule_n is not None and rule_t is not None
             else 1
         )
+        # Explicit wait condition for event-driven schedulers: the
+        # server processes a round once the rule's n - t gradient floor
+        # has arrived (or its wait window expires).  Respect a count the
+        # experiment configuration already pinned on the engine.
+        if self.engine.wait.count is None:
+            self.engine.wait_for(count=self._min_received)
 
     # -- internals -----------------------------------------------------------
     def _test_inputs(self) -> np.ndarray:
@@ -162,8 +168,18 @@ class CentralizedTrainer:
                 honest_vectors=honest_vectors,
                 rng=self._rng,
                 horizon=self.engine.horizon,
+                delivery_trace=self.engine.trace_tail(),
             )
             corrupted = client.attack.corrupt(context)
+            # Attacks state their lags per honest receiver, but the star
+            # exchange has a single link (client -> server): the
+            # strongest requested lag applies to the server delivery, so
+            # timing attacks stay expressible here instead of being
+            # silently voided by the topology mismatch.
+            requested = client.attack.send_delays(context)
+            delays = (
+                {self.server_node: max(requested.values())} if requested else None
+            )
             # A silent (crashed) Byzantine client simply contributes nothing.
             plans.append(
                 BroadcastPlan(
@@ -171,7 +187,7 @@ class CentralizedTrainer:
                     payload=None if corrupted is None
                     else np.asarray(corrupted, dtype=np.float64).reshape(-1),
                     recipients=server_only,
-                    delays=client.attack.send_delays(context),
+                    delays=delays,
                     metadata={"attack": client.attack.name},
                 )
             )
@@ -239,6 +255,7 @@ class CentralizedTrainer:
                 )
         if self.engine.records_stats:
             history.network_stats = self.engine.stats_snapshot()
+            history.delivery_trace = self.engine.trace_snapshot()
         return history
 
     def _attack_name(self) -> Optional[str]:

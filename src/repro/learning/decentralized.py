@@ -126,6 +126,11 @@ class DecentralizedTrainer:
         self.engine = engine
         policy = "raise" if isinstance(engine, SynchronousScheduler) else "starve"
         self.engine.require_quorum(agreement.minimum_messages(), policy=policy)
+        # Event-driven schedulers have no delivery horizon: each client
+        # waits for the n - t agreement quorum (or its wait window),
+        # then processes whatever arrived.  A count pinned on the engine
+        # by the experiment config wins over the quorum reading.
+        self.engine.wait_for(quorum=True)
         #: Backwards-compatible alias (this used to be a SynchronousNetwork).
         self.network = self.engine
 
@@ -152,6 +157,7 @@ class DecentralizedTrainer:
                 byzantine_gradients,
                 self._rng,
                 horizon=self.engine.horizon,
+                engine=self.engine,
                 extra_metadata={"iteration": iteration},
             )
             if self.byzantine_ids
@@ -235,6 +241,7 @@ class DecentralizedTrainer:
                 )
         if self.engine.records_stats:
             history.network_stats = self.engine.stats_snapshot()
+            history.delivery_trace = self.engine.trace_snapshot()
         return history
 
     def _attack_name(self) -> Optional[str]:

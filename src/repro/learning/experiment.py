@@ -68,12 +68,22 @@ class ExperimentConfig:
     mlp_hidden: Tuple[int, int] = (64, 32)
     # Timing model of the communication rounds (see repro.engine):
     # "synchronous" (the paper), "partial" (bounded per-link delays,
-    # horizon = `delay`), or "lossy" (`drop_rate` per-link loss plus
-    # transient `crash_schedule` windows).
+    # horizon = `delay`), "lossy" (`drop_rate` per-link loss plus
+    # transient `crash_schedule` windows), or "asynchronous" (event-
+    # driven, no horizon: heavy-tailed regime-modulated delays with
+    # explicit wait conditions).
     scheduler: str = "synchronous"
     delay: int = 0
     drop_rate: float = 0.0
     crash_schedule: Tuple[Tuple[int, int, int], ...] = ()
+    # Asynchronous-scheduler knobs: `wait_timeout` (required > 0 there)
+    # bounds how many virtual rounds a node waits past a round start;
+    # `wait_count` optionally pins an explicit message target (0 = the
+    # consumer's quorum / n - t default); `burstiness` is the per-round
+    # probability of entering the bursty (MMPP-style) delay regime.
+    wait_count: int = 0
+    wait_timeout: float = 0.0
+    burstiness: float = 0.0
 
     def __post_init__(self) -> None:
         require(self.setting in ("centralized", "decentralized"),
@@ -100,6 +110,17 @@ class ExperimentConfig:
         if self.scheduler != "lossy":
             require(self.drop_rate == 0.0 and not self.crash_schedule,
                     "drop_rate/crash_schedule are only meaningful for scheduler='lossy'")
+        require(self.wait_count >= 0, "wait_count must be non-negative")
+        require(0.0 <= self.burstiness < 1.0, "burstiness must be in [0, 1)")
+        if self.scheduler == "asynchronous":
+            require(self.wait_timeout > 0.0,
+                    "scheduler='asynchronous' needs wait_timeout > 0 (no delivery "
+                    "horizon; the wait window must be explicit)")
+        else:
+            require(self.wait_count == 0 and self.wait_timeout == 0.0
+                    and self.burstiness == 0.0,
+                    "wait_count/wait_timeout/burstiness are only meaningful for "
+                    "scheduler='asynchronous'")
         # Canonicalise crash windows to nested int tuples so configs
         # built from JSON lists compare equal to hand-built ones.
         object.__setattr__(
@@ -282,6 +303,9 @@ def _make_engine(
         delay=config.delay,
         drop_rate=config.drop_rate,
         crash_schedule=config.crash_schedule,
+        wait_count=config.wait_count,
+        wait_timeout=config.wait_timeout,
+        burstiness=config.burstiness,
         seed=stable_component_seed(config.seed, "scheduler", config.scheduler),
         keep_history=False,
         require_full_broadcast=not star,

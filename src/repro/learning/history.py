@@ -42,6 +42,13 @@ class TrainingHistory:
     round engine the run executed on (sent / delivered / dropped /
     delayed / crash_omitted messages).  It stays empty under the
     synchronous scheduler, whose delivery is total by definition.
+
+    ``delivery_trace`` is the same information *per engine round*: one
+    sparse dictionary per executed round (``{"round": <monotone clock>,
+    "sent": ..., "delivered": ..., ...}``, zero counters omitted), so a
+    burst of drops or a crash window is visible as an event in time
+    rather than a smeared cumulative total.  Also empty for synchronous
+    runs.
     """
 
     setting: str
@@ -52,6 +59,7 @@ class TrainingHistory:
     num_byzantine: int
     records: List[RoundRecord] = field(default_factory=list)
     network_stats: Dict[str, int] = field(default_factory=dict)
+    delivery_trace: List[Dict[str, int]] = field(default_factory=list)
 
     def append(self, record: RoundRecord) -> None:
         """Add a round record (rounds must be appended in order)."""

@@ -39,7 +39,12 @@ from repro.utils.logging import get_logger
 _logger = get_logger("sweep.runner")
 
 #: Bumped when the row layout changes incompatibly.
-ROW_SCHEMA_VERSION = 1
+#: v2: corrected delivery accounting (crashed senders are `suppressed`,
+#: not `sent`; in-flight messages expire as `expired_at_reset`, not
+#: `dropped`; drop RNG decoupled from crash schedules) plus per-round
+#: delivery traces (`history.delivery_trace`, `summary.trace`).  Rows
+#: written by earlier versions are re-run on resume.
+ROW_SCHEMA_VERSION = 2
 
 PathLike = Union[str, Path]
 
@@ -61,10 +66,16 @@ def run_cell(payload: dict) -> dict:
         "rounds": history.rounds,
     }
     if history.network_stats:
-        # Lossy / partially synchronous cells report their delivery
-        # counters next to the accuracies (synchronous cells stay
-        # byte-identical to the pre-engine row layout).
+        # Non-synchronous cells report their delivery counters next to
+        # the accuracies (synchronous cells stay byte-identical to the
+        # pre-engine row layout).
         summary["network"] = dict(history.network_stats)
+    if history.delivery_trace:
+        # Compact per-round reading for the summary table; the full
+        # trace rides along in the row's "history".
+        from repro.analysis.reporting import delivery_trace_summary
+
+        summary["trace"] = delivery_trace_summary(history.delivery_trace)
     return {
         "schema": ROW_SCHEMA_VERSION,
         "index": payload["index"],

@@ -3,12 +3,18 @@
 import numpy as np
 import pytest
 
-from repro.byzantine.base import AttackContext
-from repro.byzantine.timing import SelectiveDelayAttack, WithholdThenRushAttack
+from repro.byzantine.base import DELIVERY_TRACE_WINDOW, AttackContext
+from repro.byzantine.timing import (
+    AdaptiveDelayAttack,
+    SelectiveDelayAttack,
+    WithholdThenRushAttack,
+)
 from repro.engine import (
+    AsynchronousScheduler,
     LossyScheduler,
     PartiallySynchronousScheduler,
     SynchronousScheduler,
+    WaitCondition,
     make_scheduler,
     run_exchange,
 )
@@ -164,7 +170,10 @@ class TestPartiallySynchronousScheduler:
         r2 = engine.run_round(2, _honest_plan(values), adversary)
         assert any(m.sender == 2 and m.round_index == 0 for m in r2.inboxes[0])
 
-    def test_reset_discards_pending_as_dropped(self):
+    def test_reset_expires_pending_not_dropped(self):
+        # The model's contract is "messages are never lost": in-flight
+        # messages flushed at an exchange boundary are expired, and must
+        # never inflate the loss counter.
         engine = PartiallySynchronousScheduler(3, max_delay=3, delay_prob=1.0, seed=1)
         values = _values(3)
         engine.run_round(0, _honest_plan(values))
@@ -172,7 +181,22 @@ class TestPartiallySynchronousScheduler:
         assert pending > 0
         engine.reset()
         assert engine.pending_count() == 0
-        assert engine.stats["dropped"] == pending
+        assert engine.stats["dropped"] == 0
+        assert engine.stats["expired_at_reset"] == pending
+
+    def test_accounting_identity_across_exchanges(self):
+        # sent == delivered + expired_at_reset + pending at all times.
+        engine = PartiallySynchronousScheduler(4, max_delay=2, delay_prob=0.6, seed=9)
+        values = _values(4)
+        for exchange in range(3):
+            for r in range(4):
+                engine.run_round(r, _honest_plan(values))
+            stats = engine.stats
+            assert stats["sent"] == (
+                stats["delivered"] + stats["expired_at_reset"] + engine.pending_count()
+            )
+            engine.reset()
+        assert engine.stats["dropped"] == 0
 
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
@@ -242,16 +266,238 @@ class TestLossyScheduler:
         with pytest.raises(ValueError):
             LossyScheduler(3, drop_rate=1.0)
 
+    def test_crashed_sender_does_not_inflate_sent(self):
+        # Regression: a crashed node "neither sends nor receives", so
+        # its would-be sends are `suppressed` and must stay out of the
+        # deliv% denominator.  Pinned counters: n=3, node 1 down for the
+        # single round -> node 1's 3 sends suppressed; of the remaining
+        # 6 sends the two addressed to node 1 are crash-omitted.
+        engine = LossyScheduler(3, crash_schedule=[(1, 0, 1)], seed=0)
+        engine.run_round(0, _honest_plan(_values(3)))
+        assert engine.stats_snapshot() == {
+            "sent": 6,
+            "delivered": 4,
+            "dropped": 0,
+            "delayed": 0,
+            "crash_omitted": 2,
+            "suppressed": 3,
+        }
+        # The identity the counters are supposed to satisfy.
+        assert engine.stats["sent"] == (
+            engine.stats["delivered"] + engine.stats["dropped"]
+            + engine.stats["crash_omitted"]
+        )
+
+    def test_drop_stream_independent_of_crash_schedule(self):
+        # Regression: the per-link drop variate is drawn with common
+        # random numbers, so adding a crash window must not reshuffle
+        # which of the *surviving* links drop for the same seed.
+        def survivor_senders(crash_schedule):
+            engine = LossyScheduler(
+                6, drop_rate=0.5, crash_schedule=crash_schedule, seed=13
+            )
+            result = engine.run_round(0, _honest_plan(_values(6)))
+            # Links not touching the crashed node exist in both runs.
+            return {
+                node: [s for s in result.senders(node) if s != 2]
+                for node in range(6)
+                if node != 2
+            }
+
+        assert survivor_senders([]) == survivor_senders([(2, 0, 1)])
+
+
+class TestAsynchronousScheduler:
+    def _engine(self, n=5, **kwargs):
+        kwargs.setdefault("timeout_rounds", 3.0)
+        kwargs.setdefault("seed", 3)
+        engine = AsynchronousScheduler(n, **kwargs)
+        return engine
+
+    def test_requires_explicit_wait_condition(self):
+        engine = self._engine()
+        with pytest.raises(RuntimeError, match="wait condition"):
+            engine.run_round(0, _honest_plan(_values(5)))
+
+    def test_wait_count_stops_at_target(self):
+        # Waiting for exactly 2 messages: every node processes its round
+        # with at least self-delivery plus whatever beat the deadline,
+        # and no node delivers fewer than its target when enough arrive.
+        engine = self._engine()
+        engine.wait_for(count=2)
+        values = _values(5)
+        result = engine.run_round(0, _honest_plan(values))
+        for node in range(5):
+            assert node in result.senders(node)  # self-delivery immediate
+            assert len(result.inboxes[node]) >= 2
+
+    def test_quorum_wait_uses_require_quorum(self):
+        engine = self._engine()
+        engine.require_quorum(4, policy="starve")
+        engine.wait_for(quorum=True)
+        result = engine.run_round(0, _honest_plan(_values(5)))
+        for node in range(5):
+            assert len(result.inboxes[node]) >= 4
+
+    def test_explicit_count_wins_over_quorum(self):
+        engine = self._engine(wait_count=1)
+        engine.require_quorum(4, policy="starve")
+        engine.wait_for(quorum=True)
+        assert engine.wait.count == 1  # the pinned count survived
+        engine.run_round(0, _honest_plan(_values(5)))
+
+    def test_no_message_ever_lost(self):
+        engine = self._engine()
+        engine.wait_for(quorum=True)  # target 0: wait the full window
+        values = _values(5)
+        for r in range(8):
+            engine.run_round(r, _honest_plan(values))
+        stats = engine.stats
+        assert stats["sent"] == 5 * 5 * 8
+        assert stats["dropped"] == 0
+        assert stats["sent"] == stats["delivered"] + engine.pending_count()
+
+    def test_deterministic_given_seed(self):
+        def trace(seed):
+            engine = self._engine(seed=seed)
+            engine.wait_for(count=3)
+            values = _values(5)
+            out = []
+            for r in range(6):
+                result = engine.run_round(r, _honest_plan(values))
+                out.append([result.senders(node) for node in range(5)])
+            return out
+
+        assert trace(11) == trace(11)
+        assert trace(11) != trace(12)
+
+    def test_burstiness_changes_delay_profile(self):
+        def delayed(burstiness):
+            engine = self._engine(
+                burstiness=burstiness, burst_factor=20.0, timeout_rounds=1.0, seed=5
+            )
+            engine.wait_for(count=5)  # full inbox, bounded by the timeout
+            values = _values(5)
+            for r in range(20):
+                engine.run_round(r, _honest_plan(values))
+            return engine.stats["delayed"]
+
+        # A bursty regime holds strictly more messages past their round.
+        assert delayed(0.8) > delayed(0.0)
+
+    def test_adversary_delay_uncapped(self):
+        # No horizon: a pinned lag of 7 rounds is honoured, not clamped.
+        engine = self._engine(n=3, byzantine=[2], timeout_rounds=1.0)
+        engine.wait_for(count=1)
+        values = _values(2)
+
+        def adversary(node, r, honest):
+            return BroadcastPlan(
+                sender=node, payload=np.full(2, 9.0), delays={0: 7, 1: 0}
+            )
+
+        r0 = engine.run_round(0, _honest_plan(values), adversary)
+        assert 2 in r0.senders(1) and 2 not in r0.senders(0)
+        for r in range(1, 7):
+            result = engine.run_round(r, _honest_plan(values), adversary)
+            assert 2 not in [m.sender for m in result.inboxes[0] if m.round_index == 0]
+        r7 = engine.run_round(7, _honest_plan(values), adversary)
+        assert any(m.sender == 2 and m.round_index == 0 for m in r7.inboxes[0])
+
+    def test_reset_expires_in_flight(self):
+        engine = self._engine(timeout_rounds=1.0)
+        engine.wait_for(count=1)
+        engine.run_round(0, _honest_plan(_values(5)))
+        pending = engine.pending_count()
+        assert pending > 0
+        engine.reset()
+        assert engine.pending_count() == 0
+        assert engine.stats["expired_at_reset"] == pending
+        assert engine.stats["dropped"] == 0
+
+    def test_per_round_traces_recorded(self):
+        engine = self._engine()
+        engine.wait_for(count=2)
+        values = _values(5)
+        for r in range(3):
+            engine.run_round(r, _honest_plan(values))
+        traces = engine.trace_snapshot()
+        assert [row["round"] for row in traces] == [0, 1, 2]
+        assert all(row["sent"] == 25 for row in traces)
+        assert sum(row.get("delivered", 0) for row in traces) == engine.stats["delivered"]
+        # Traces survive exchange resets (they describe the whole run).
+        engine.reset()
+        assert len(engine.trace_snapshot()) == 3
+
+    def test_exchange_runs_end_to_end(self):
+        engine = self._engine()
+        engine.require_quorum(3, policy="starve")
+        initial = {i: np.full(2, float(i)) for i in range(5)}
+        final = run_exchange(
+            engine, initial, 4, lambda _n, received: received.mean(axis=0),
+            wait=WaitCondition(quorum=True, timeout_rounds=2.0),
+        )
+        assert len(final) == 5
+        spread = max(float(np.linalg.norm(final[i] - final[j]))
+                     for i in final for j in final)
+        assert spread < 4.0  # the exchange contracts despite the asynchrony
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AsynchronousScheduler(3, timeout_rounds=0.0)
+        with pytest.raises(ValueError):
+            AsynchronousScheduler(3, tail_index=1.0)
+        with pytest.raises(ValueError):
+            AsynchronousScheduler(3, burstiness=1.0)
+        with pytest.raises(ValueError):
+            AsynchronousScheduler(3, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            AsynchronousScheduler(3, delay_scale=-0.1)
+        with pytest.raises(ValueError):
+            AsynchronousScheduler(3, wait_count=-1)
+
+
+class TestWaitConditionApi:
+    def test_merge_semantics(self):
+        engine = SynchronousScheduler(4)
+        engine.wait_for(count=3)
+        engine.wait_for(quorum=True, timeout_rounds=2.5)
+        assert engine.wait == WaitCondition(count=3, quorum=True, timeout_rounds=2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaitCondition(count=-1)
+        with pytest.raises(ValueError):
+            WaitCondition(timeout_rounds=0.0)
+
+    def test_horizon_schedulers_ignore_wait(self):
+        engine = SynchronousScheduler(3)
+        engine.wait_for(count=1, timeout_rounds=1.0)
+        result = engine.run_round(0, _honest_plan(_values(3)))
+        # Lock-step delivery is unchanged: full inboxes regardless.
+        assert all(len(result.inboxes[n]) == 3 for n in range(3))
+
 
 class TestMakeScheduler:
     def test_names(self):
         assert isinstance(make_scheduler("synchronous", 4), SynchronousScheduler)
         assert isinstance(make_scheduler("partial", 4, delay=1), PartiallySynchronousScheduler)
         assert isinstance(make_scheduler("lossy", 4, drop_rate=0.1), LossyScheduler)
+        assert isinstance(
+            make_scheduler("asynchronous", 4, wait_timeout=2.0), AsynchronousScheduler
+        )
 
     def test_unknown_name(self):
         with pytest.raises(ValueError):
             make_scheduler("quantum", 4)
+
+    def test_async_knobs_threaded(self):
+        engine = make_scheduler(
+            "asynchronous", 4, wait_count=2, wait_timeout=1.5, burstiness=0.3
+        )
+        assert engine.wait.count == 2
+        assert engine.timeout_rounds == 1.5
+        assert engine.burstiness == 0.3
 
     def test_mismatched_knobs_rejected(self):
         with pytest.raises(ValueError):
@@ -262,6 +508,12 @@ class TestMakeScheduler:
             make_scheduler("partial", 4, delay=1, drop_rate=0.2)
         with pytest.raises(ValueError):
             make_scheduler("lossy", 4, delay=2)
+        with pytest.raises(ValueError):
+            make_scheduler("asynchronous", 4)  # wait_timeout missing
+        with pytest.raises(ValueError):
+            make_scheduler("asynchronous", 4, wait_timeout=2.0, drop_rate=0.1)
+        with pytest.raises(ValueError):
+            make_scheduler("lossy", 4, drop_rate=0.1, wait_timeout=2.0)
 
 
 class TestRunExchange:
@@ -339,6 +591,72 @@ class TestTimingAttacks:
             WithholdThenRushAttack(withhold_rounds=-1)
         with pytest.raises(ValueError):
             SelectiveDelayAttack(delay=0)
+        with pytest.raises(ValueError):
+            AdaptiveDelayAttack(max_lag=0)
+        with pytest.raises(ValueError):
+            AdaptiveDelayAttack(window=0)
+        with pytest.raises(ValueError, match="trace rounds"):
+            # Larger than the engine ever exposes: reject rather than
+            # silently behaving like the bound.
+            AdaptiveDelayAttack(window=DELIVERY_TRACE_WINDOW + 1)
+
+    def _adaptive_context(self, trace, horizon=3):
+        return AttackContext(
+            node=3,
+            round_index=1,
+            own_vector=np.ones(2),
+            honest_vectors={0: np.array([1.0, 0.0]), 1: np.array([0.0, 1.0])},
+            rng=np.random.default_rng(0),
+            horizon=horizon,
+            delivery_trace=trace,
+        )
+
+    def test_adaptive_delay_scales_with_observed_fill(self):
+        attack = AdaptiveDelayAttack(max_lag=3)
+        healthy = ({"round": 0, "sent": 20, "delivered": 20},)
+        starving = ({"round": 0, "sent": 20, "delivered": 2},)
+        # Healthy network: hold the corrupted value back maximally.
+        assert attack.send_delays(self._adaptive_context(healthy)) == {0: 3, 1: 3}
+        # Starving network: strike immediately (no delay request).
+        assert attack.send_delays(self._adaptive_context(starving)) is None
+
+    def test_adaptive_delay_without_trace_uses_max_lag(self):
+        attack = AdaptiveDelayAttack(max_lag=2)
+        assert attack.send_delays(self._adaptive_context(())) == {0: 2, 1: 2}
+
+    def test_adaptive_delay_degrades_under_synchrony(self):
+        attack = AdaptiveDelayAttack()
+        assert attack.send_delays(self._adaptive_context((), horizon=0)) is None
+        payload = attack.corrupt(self._adaptive_context(()))
+        np.testing.assert_allclose(payload, [-0.5, -0.5])
+
+    def test_adaptive_delay_drives_exchange(self):
+        # End to end on the asynchronous engine: the attack must observe
+        # a non-empty delivery trace after the first round and still let
+        # the exchange complete.
+        engine = AsynchronousScheduler(
+            5, byzantine=[4], timeout_rounds=2.0, seed=2
+        )
+        engine.require_quorum(3, policy="starve")
+        engine.wait_for(quorum=True)
+        from repro.engine import attack_adversary_plan
+
+        attack = AdaptiveDelayAttack(max_lag=2)
+        seen = []
+        original = attack.send_delays
+
+        def spying_send_delays(context):
+            seen.append(len(context.delivery_trace))
+            return original(context)
+
+        attack.send_delays = spying_send_delays
+        initial = {i: np.full(2, float(i)) for i in range(4)}
+        plan = attack_adversary_plan(
+            lambda _n: attack, {4: np.zeros(2)},
+            np.random.default_rng(0), horizon=engine.horizon, engine=engine,
+        )
+        run_exchange(engine, initial, 3, lambda _n, r: r.mean(axis=0), plan)
+        assert seen[0] == 0 and seen[-1] > 0
 
 
 class TestPlanDelayValidation:

@@ -103,6 +103,157 @@ class TestPinnedFixtures:
         assert json_round_trip(result.final_matrix().tolist()) == reference["final_matrix"]
         assert json_round_trip(result.diameter_trace()) == reference["diameter_trace"]
 
+    def test_synchronous_history_dict_layout_unchanged(self):
+        # The wait-condition / delivery-trace machinery must leave the
+        # synchronous serialisation untouched: no network_stats, no
+        # delivery_trace key, same field set as the pinned fixtures.
+        history = run_experiment(small_config())
+        data = history_to_dict(history)
+        assert "network_stats" not in data
+        assert "delivery_trace" not in data
+
+
+class TestAsynchronousEndToEnd:
+    """The event-driven scheduler runs every consumer with explicit waits."""
+
+    def _async_config(self, **overrides):
+        overrides = {
+            "scheduler": "asynchronous", "wait_timeout": 2.0, "burstiness": 0.2,
+            "rounds": 2, **overrides,
+        }
+        return small_config(**overrides)
+
+    def test_agreement_protocol_contracts(self):
+        from repro.engine import AsynchronousScheduler
+
+        n, t = 7, 2
+        algorithm = HyperboxMeanAgreement(n, t)
+        engine = AsynchronousScheduler(
+            n, byzantine=[6], timeout_rounds=2.0, burstiness=0.3, seed=4
+        )
+        protocol = AgreementProtocol(
+            algorithm, byzantine=(6,), attack=SignFlipAttack(), engine=engine
+        )
+        # The protocol installed its quorum wait condition on the engine.
+        assert engine.wait.quorum and engine.wait.count is None
+        inputs = np.random.default_rng(5).normal(size=(n - 1, 3))
+        result = protocol.run(inputs, rounds=5)
+        trace = result.diameter_trace()
+        assert trace[-1] < trace[0]
+        assert engine.stats["delivered"] > 0
+
+    def test_both_trainers_run(self):
+        for setting, rounds in (("centralized", 2), ("decentralized", 2)):
+            history = run_experiment(self._async_config(setting=setting, rounds=rounds))
+            assert history.rounds == rounds
+            assert history.network_stats["sent"] > 0
+            assert history.network_stats["dropped"] == 0  # asynchrony loses nothing
+            assert history.delivery_trace  # per-round rows recorded
+            assert all("round" in row for row in history.delivery_trace)
+            # Cumulative counters equal the trace totals (per counter).
+            for key in ("sent", "delivered", "delayed"):
+                assert history.network_stats[key] == sum(
+                    row.get(key, 0) for row in history.delivery_trace
+                )
+
+    def test_wait_count_override_reaches_engine(self):
+        from repro.learning.experiment import _make_engine
+
+        config = self._async_config(setting="decentralized", wait_count=3)
+        engine = _make_engine(config, config.num_clients, (5,))
+        assert engine.wait.count == 3  # the config-pinned count arrived
+        # A consumer's quorum default must not clobber the pinned count.
+        algorithm = HyperboxMeanAgreement(config.num_clients, 1)
+        AgreementProtocol(algorithm, byzantine=(5,), engine=engine)
+        assert engine.wait.count == 3 and engine.wait.quorum
+        history = run_experiment(config)
+        assert history.rounds == 2  # and the pinned count still trains
+
+    def test_adaptive_delay_attack_end_to_end(self):
+        for setting in ("decentralized", "centralized"):
+            history = run_experiment(
+                self._async_config(setting=setting, attack="adaptive-delay")
+            )
+            assert history.attack == "adaptive-delay"
+            assert history.rounds == 2
+
+    def test_star_exchange_honours_attack_delays(self):
+        # Regression: attacks state lags per honest receiver, but the
+        # centralized exchange has a single client -> server link — the
+        # strongest requested lag must reach the server delivery instead
+        # of being silently voided by the topology mismatch.
+        from repro.aggregation.registry import make_rule
+        from repro.engine import PartiallySynchronousScheduler
+        from repro.learning.centralized import CentralizedTrainer
+        from repro.learning.experiment import build_experiment
+        from repro.nn.optimizers import SGD
+
+        config = small_config(attack="selective-delay",
+                              attack_kwargs={"delay": 2}, rounds=3)
+        built = build_experiment(config)
+        byz = tuple(c.client_id for c in built.clients if c.is_byzantine)
+        # delay_prob=0: honest links deliver immediately, so any lag in
+        # the server inbox is the adversary's pinned request.
+        engine = PartiallySynchronousScheduler(
+            config.num_clients + 1, byz, max_delay=2, delay_prob=0.0, seed=0,
+            require_full_broadcast=False,
+        )
+        trainer = CentralizedTrainer(
+            built.global_model, built.clients, make_rule("box-geom", n=6, t=1),
+            built.test_data, optimizer=SGD(0.1, total_rounds=3), engine=engine,
+        )
+        trainer.train(3)
+        server = trainer.server_node
+        inboxes = [result.inboxes[server] for result in engine.history]
+        byz_id = byz[0]
+        # Round 0: the Byzantine gradient is held back by the pinned lag...
+        assert byz_id not in [m.sender for m in inboxes[0]]
+        # ...and arrives exactly 2 rounds later, tagged with its send round.
+        assert any(m.sender == byz_id and m.round_index == 0 for m in inboxes[2])
+
+    def test_history_round_trips_with_trace(self):
+        from repro.io.results import history_from_dict
+
+        history = run_experiment(self._async_config())
+        restored = history_from_dict(json_round_trip(history_to_dict(history)))
+        assert restored.delivery_trace == history.delivery_trace
+        assert restored.network_stats == history.network_stats
+
+    def test_cli_sweep_over_burstiness(self, tmp_path, capsys):
+        spec = {
+            "base": {
+                "setting": "centralized",
+                "heterogeneity": "uniform",
+                "aggregation": "box-geom",
+                "attack": "sign-flip",
+                "num_clients": 6,
+                "num_byzantine": 1,
+                "rounds": 2,
+                "num_samples": 240,
+                "batch_size": 8,
+                "mlp_hidden": [16, 8],
+                "seed": 0,
+                "scheduler": "asynchronous",
+                "wait_timeout": 2.0,
+            },
+            "axes": {"burstiness": [0.0, 0.4]},
+        }
+        spec_path = tmp_path / "async_spec.json"
+        spec_path.write_text(json.dumps(spec))
+        out = tmp_path / "rows.jsonl"
+        code = cli_main(["sweep", str(spec_path), "--output", str(out)])
+        assert code == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 2
+        for row in rows:
+            assert row["config"]["scheduler"] == "asynchronous"
+            assert row["summary"]["network"]["sent"] > 0
+            assert row["summary"]["trace"]["rounds"] > 0
+            assert row["history"]["delivery_trace"]
+        # The summary table surfaces the per-round trace columns.
+        table = capsys.readouterr().out
+        assert "wrst%" in table and "late" in table
+
 
 class TestCrashQuorumInteraction:
     def test_require_quorum_fires_inside_crash_window(self):
@@ -137,7 +288,14 @@ class TestCrashQuorumInteraction:
             )
         )
         assert history.rounds == 2
-        assert history.network_stats["crash_omitted"] > 0
+        # The crashed client is a *sender* in the star exchange: its
+        # would-be sends are suppressed (never sent), not crash-omitted.
+        assert history.network_stats["suppressed"] > 0
+        assert history.network_stats["sent"] == (
+            history.network_stats["delivered"]
+            + history.network_stats["dropped"]
+            + history.network_stats["crash_omitted"]
+        )
 
 
 class TestLossyScenarioEndToEnd:

@@ -357,6 +357,119 @@ class TestSweepRunner:
         assert parallel.read_bytes() == original
 
 
+class TestResumeEdgeCases:
+    """Resume bookkeeping against adversarial on-disk states."""
+
+    def _fabricated_rows(self, grid):
+        """Plausible completed rows without running any experiment."""
+        return [
+            {
+                "schema": ROW_SCHEMA_VERSION,
+                "index": cell.index,
+                "cell_id": cell.cell_id,
+                "axes": cell.axes,
+                "config": config_to_dict(cell.config),
+                "summary": {"final_accuracy": 0.5, "best_accuracy": 0.5,
+                            "final_loss": 1.0, "rounds": 2},
+                "history": {},
+            }
+            for cell in grid.cells()
+        ]
+
+    def test_valid_json_partial_tail_not_trusted(self, tmp_path):
+        # A partial final line whose prefix happens to parse as complete
+        # JSON is still an interrupted write: its cell must re-run.
+        grid = tiny_grid()
+        rows = self._fabricated_rows(grid)
+        path = tmp_path / "sweep.jsonl"
+        write_jsonl(path, rows[:-1])
+        # The tail is a byte-complete row -- but unterminated.
+        with path.open("a") as handle:
+            handle.write(json.dumps(rows[-1]))
+        completed = SweepRunner(grid, output_path=path).completed_rows()
+        assert set(completed) == {row["cell_id"] for row in rows[:-1]}
+
+    def test_stale_schema_version_reruns(self, tmp_path):
+        grid = tiny_grid()
+        rows = self._fabricated_rows(grid)
+        rows[1]["schema"] = ROW_SCHEMA_VERSION - 1  # written by an old code version
+        path = tmp_path / "sweep.jsonl"
+        write_jsonl(path, rows)
+        completed = SweepRunner(grid, output_path=path).completed_rows()
+        assert set(completed) == {
+            row["cell_id"] for i, row in enumerate(rows) if i != 1
+        }
+
+    def test_duplicate_cell_id_fresh_row_wins(self, tmp_path):
+        # A stale row (older spec, same cell id) next to a fresh one:
+        # the matching row wins regardless of file order.
+        grid = tiny_grid()
+        rows = self._fabricated_rows(grid)
+        stale = json.loads(json.dumps(rows[0]))
+        stale["config"]["rounds"] = 99
+        stale["summary"]["final_accuracy"] = -1.0
+        path = tmp_path / "stale_first.jsonl"
+        write_jsonl(path, [stale] + rows)
+        completed = SweepRunner(grid, output_path=path).completed_rows()
+        assert len(completed) == len(grid)
+        assert completed[rows[0]["cell_id"]]["summary"]["final_accuracy"] == 0.5
+
+        path = tmp_path / "stale_last.jsonl"
+        write_jsonl(path, rows + [stale])
+        completed = SweepRunner(grid, output_path=path).completed_rows()
+        assert completed[rows[0]["cell_id"]]["summary"]["final_accuracy"] == 0.5
+
+    def test_duplicate_matching_rows_last_wins(self, tmp_path):
+        # Two *matching* rows for one cell (e.g. a resume raced a crash):
+        # read-back keeps the later one, mirroring append order.
+        grid = tiny_grid()
+        rows = self._fabricated_rows(grid)
+        rewritten = json.loads(json.dumps(rows[0]))
+        rewritten["summary"]["final_accuracy"] = 0.75
+        path = tmp_path / "sweep.jsonl"
+        write_jsonl(path, rows + [rewritten])
+        completed = SweepRunner(grid, output_path=path).completed_rows()
+        assert completed[rows[0]["cell_id"]]["summary"]["final_accuracy"] == 0.75
+
+    @pytest.mark.slow
+    def test_run_repairs_parseable_partial_tail(self, tmp_path):
+        """run() after an interrupt that left a *parseable* partial line:
+        the affected cell re-runs and the stream converges byte-for-byte."""
+        grid = tiny_grid()
+        path = tmp_path / "sweep.jsonl"
+        baseline = SweepRunner(grid, output_path=path).run()
+        original = path.read_bytes()
+
+        # Strip the final newline: the last row is now a parseable but
+        # unterminated tail, exactly what a mid-flush interrupt leaves.
+        path.write_bytes(original[:-1])
+        runner = SweepRunner(grid, output_path=path)
+        assert len(runner.completed_rows()) == len(grid) - 1
+        resumed = runner.run()
+        assert resumed == baseline
+        assert path.read_bytes() == original
+
+    @pytest.mark.slow
+    def test_run_reruns_stale_schema_rows(self, tmp_path):
+        grid = tiny_grid()
+        path = tmp_path / "sweep.jsonl"
+        baseline = SweepRunner(grid, output_path=path).run()
+
+        rows = read_jsonl(path)
+        rows[0]["schema"] = ROW_SCHEMA_VERSION - 1
+        write_jsonl(path, rows)
+        runner = SweepRunner(grid, output_path=path)
+        assert len(runner.completed_rows()) == len(grid) - 1
+        # The re-run appends a fresh (current-schema) row after the
+        # stale one; read-back resolves the duplicate fresh-row-wins.
+        resumed = runner.run()
+        assert resumed == baseline
+        assert all(row["schema"] == ROW_SCHEMA_VERSION for row in resumed)
+        on_disk = read_jsonl(path)
+        assert len(on_disk) == len(grid) + 1  # stale row still on disk
+        assert len(SweepRunner(grid, output_path=path).completed_rows()) == len(grid)
+
+
 class TestSweepReporting:
     def test_summary_table_lists_every_cell(self):
         rows = [
