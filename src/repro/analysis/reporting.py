@@ -139,6 +139,20 @@ def sweep_summary_table(rows: Sequence[Mapping[str, object]]) -> str:
         cols = " ".join(
             f"{str(row['axes'].get(name, '')):<{widths[name]}s}" for name in axis_names
         )
+        if "error" in row:
+            # A cell that kept raising streamed an error row in place of
+            # a result; keep it visible instead of faking metrics (and
+            # pad every optional column so the table stays aligned).
+            error = row["error"] if isinstance(row["error"], dict) else {}
+            line = f"{cols} {'-':>7s} {'-':>7s} {'-':>7s}"
+            if with_network:
+                line += f" {'-':>7s}"
+            if with_trace:
+                line += f" {'-':>7s} {'-':>6s}"
+            lines.append(
+                f"{line}  FAILED ({error.get('exception', 'unknown error')})"
+            )
+            continue
         line = (
             f"{cols} {metric_from_json(summary.get('final_accuracy')):>7.3f} "
             f"{metric_from_json(summary.get('best_accuracy')):>7.3f} "

@@ -8,9 +8,14 @@ Four sub-commands cover the common workflows:
 - ``compare`` — run the same experiment for several aggregation rules
   and print the comparison table (final / best / smoothed accuracy and
   the converging / diverging verdict).
-- ``sweep`` — expand a JSON scenario-grid spec into experiment cells and
-  run them on a worker pool, streaming JSONL rows with resume support
-  (see ``docs/sweeps.md``).
+- ``sweep run`` — expand a JSON scenario-grid spec into experiment cells
+  and run them through an execution backend (serial, process pool, or
+  one shard of a multi-host run), streaming JSONL rows with resume
+  support (see ``docs/sweeps.md``).  Plain ``sweep spec.json`` still
+  works — ``run`` is inserted for you.
+- ``sweep merge`` — fold per-shard JSONL files from a multi-host sweep
+  into the canonical grid-order stream, byte-identical to a single-host
+  run.
 - ``theory`` — print the Section 4 report: measured approximation ratios
   on the adversarial constructions and the BOX-GEOM convergence trace.
 
@@ -21,6 +26,8 @@ Examples
     python -m repro.cli run --setting centralized --aggregation box-geom --rounds 20
     python -m repro.cli compare --setting decentralized --rules md-geom box-geom --rounds 10
     python -m repro.cli sweep spec.json --output results.jsonl --workers 4
+    python -m repro.cli sweep run spec.json --backend shard --shard 0/2 --output shard0.jsonl
+    python -m repro.cli sweep merge shard0.jsonl shard1.jsonl --output merged.jsonl --spec spec.json
     python -m repro.cli theory
 """
 
@@ -29,6 +36,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
@@ -44,6 +52,7 @@ from repro.engine import SCHEDULER_NAMES
 from repro.io.results import metric_from_json, save_histories
 from repro.learning.experiment import ExperimentConfig, run_experiment
 from repro.learning.history import TrainingHistory
+from repro.sweep.executors import BACKEND_NAMES
 
 
 def _experiment_flags(parser: argparse.ArgumentParser) -> None:
@@ -137,20 +146,173 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.sweep import ScenarioGrid, SweepRunner
+#: Keys the optional ``"execution"`` spec section may set (CLI flags
+#: override them; host-specific choices like --shard stay CLI-only).
+EXECUTION_SPEC_KEYS = ("backend", "workers", "max_retries", "lease_timeout")
 
-    spec_path = Path(args.spec)
+
+def _load_sweep_spec(path_str: str):
+    """Load a spec file; returns ``(grid, execution_defaults)`` or an
+    error message string."""
+    from repro.sweep import ScenarioGrid
+
+    spec_path = Path(path_str)
     try:
         spec = json.loads(spec_path.read_text())
     except FileNotFoundError:
-        print(f"sweep spec not found: {spec_path}", file=sys.stderr)
-        return 2
+        return f"sweep spec not found: {spec_path}"
     except json.JSONDecodeError as exc:
-        print(f"sweep spec is not valid JSON: {exc}", file=sys.stderr)
-        return 2
+        return f"sweep spec is not valid JSON: {exc}"
+    execution = {}
+    if isinstance(spec, dict):
+        execution = spec.pop("execution", {})
+        if not isinstance(execution, dict):
+            return 'sweep spec "execution" must be an object'
+        unknown = sorted(set(execution) - set(EXECUTION_SPEC_KEYS))
+        if unknown:
+            return (
+                f"unknown execution keys: {unknown}; "
+                f"valid: {sorted(EXECUTION_SPEC_KEYS)}"
+            )
+        for key, kind, label in (
+            ("backend", str, "a backend name"),
+            ("workers", int, "an integer"),
+            ("max_retries", int, "an integer"),
+            ("lease_timeout", (int, float), "a number"),
+        ):
+            value = execution.get(key)
+            # bool is an int subclass but never a sane count/timeout.
+            if value is not None and (
+                not isinstance(value, kind) or isinstance(value, bool)
+            ):
+                return f'execution "{key}" must be {label}, got {value!r}'
+        if execution.get("backend") is not None and (
+            execution["backend"] not in BACKEND_NAMES
+        ):
+            return (
+                f'execution "backend" must be one of {list(BACKEND_NAMES)}, '
+                f'got {execution["backend"]!r}'
+            )
+        # A JSON null means "unset": drop it so downstream defaulting
+        # (`execution.get(key, default)`) sees the key as absent.
+        execution = {k: v for k, v in execution.items() if v is not None}
     try:
         grid = ScenarioGrid.from_spec(spec)
+    except ValueError as exc:
+        return f"invalid sweep spec: {exc}"
+    return grid, execution
+
+
+def _parse_shard(text: str):
+    """Parse ``--shard i/M`` into ``(index, count)``."""
+    try:
+        index_str, count_str = text.split("/", 1)
+        index, count = int(index_str), int(count_str)
+    except ValueError:
+        raise ValueError(f"--shard must look like i/M (e.g. 0/4), got {text!r}")
+    if not 0 <= index < count:
+        raise ValueError(f"--shard index must be in [0, {count}), got {index}")
+    return index, count
+
+
+def _build_backend(args: argparse.Namespace, execution: dict):
+    """Resolve CLI flags + the spec's execution section into a backend.
+
+    Returns ``(backend, workers)``; raises ``ValueError`` on conflicting
+    or incomplete settings.
+    """
+    from repro.sweep import make_backend
+
+    workers = args.workers if args.workers is not None else execution.get("workers", 1)
+    max_retries = (
+        args.max_retries
+        if args.max_retries is not None
+        else execution.get("max_retries", 0)
+    )
+    lease_timeout = (
+        args.lease_timeout
+        if args.lease_timeout is not None
+        else execution.get("lease_timeout", 300.0)
+    )
+    sharded = args.shard is not None or args.lease_dir is not None
+    if args.backend is not None and args.backend != "shard" and sharded:
+        raise ValueError("--shard/--lease-dir require --backend shard")
+    if sharded:
+        # Host-specific shard flags take precedence over a spec-level
+        # backend default — the same spec serves every worker.
+        name = "shard"
+    elif args.backend is not None:
+        name = args.backend
+    elif execution.get("backend") is not None:
+        name = execution["backend"]
+    else:
+        name = "serial" if workers == 1 else "process"
+    if args.lease_timeout is not None and args.lease_dir is None:
+        raise ValueError("--lease-timeout only applies with --lease-dir")
+    shard_index = shard_count = None
+    if args.shard is not None:
+        if args.lease_dir is not None:
+            raise ValueError("--shard (static) and --lease-dir (dynamic) are exclusive")
+        shard_index, shard_count = _parse_shard(args.shard)
+    if name == "shard" and not sharded:
+        raise ValueError("--backend shard needs --shard i/M or --lease-dir DIR")
+    if name == "shard" and args.workers is not None and args.workers > 1:
+        # A spec-level workers default is simply ignored for shard hosts
+        # (same spec serves the fleet), but an explicit flag deserves a
+        # loud answer rather than a silently serial run.
+        raise ValueError(
+            "--workers does not apply to the shard backend (each worker "
+            "runs its cells one at a time); launch more shard workers "
+            "for parallelism"
+        )
+    if name == "serial" and workers > 1:
+        if args.workers is not None:
+            raise ValueError(
+                f"--workers {workers} needs the process backend, but the "
+                f"backend resolved to 'serial'; drop the serial override "
+                f"or use --backend process"
+            )
+        # Only the spec's single-host workers default conflicts: an
+        # explicit serial choice simply ignores it, like the shard path.
+        workers = 1
+    backend = make_backend(
+        name,
+        workers=workers,
+        max_retries=max_retries,
+        shard_index=shard_index,
+        shard_count=shard_count,
+        lease_dir=args.lease_dir,
+        lease_timeout=lease_timeout,
+    )
+    return backend, workers
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    if seconds >= 3600:
+        return f"{seconds // 3600:d}:{seconds // 60 % 60:02d}:{seconds % 60:02d}"
+    return f"{seconds // 60:d}:{seconds % 60:02d}"
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepRunner, failed_rows
+
+    loaded = _load_sweep_spec(args.spec)
+    if isinstance(loaded, str):
+        print(loaded, file=sys.stderr)
+        return 2
+    grid, execution = loaded
+    try:
+        # Vet the fleet flags before the dry-run early return, so a
+        # --dry-run pre-flight of a launch script catches a bad --shard
+        # or --lease-dir combination instead of green-lighting it.
+        # Construction is side-effect free (the lease dir is only
+        # touched on submit).
+        backend, workers = _build_backend(args, execution)
+    except ValueError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    try:
         total = len(grid)
         print(f"sweep: {total} cells over axes {', '.join(grid.axis_names())}")
         if args.dry_run:
@@ -163,32 +325,127 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"invalid sweep spec: {exc}", file=sys.stderr)
         return 2
 
+    state = {"start": time.monotonic(), "fresh": 0}
+
     def progress(cell, row, reused):
+        # `runner` is assigned below, before run() fires any callback.
+        if not reused:
+            state["fresh"] += 1
+        if args.quiet:
+            return
+        prefix = f"  [{cell.index + 1:>3d}/{total}]"
+        if "error" in row:
+            print(f"{prefix} {'failed':<6s} {cell.cell_id} "
+                  f"{row['error']['exception']}")
+            return
         tag = "cached" if reused else "done"
         # Resumed rows come back through JSON, where non-finite metrics
         # are sanitised to null.
         acc = metric_from_json(row["summary"]["final_accuracy"])
-        print(f"  [{cell.index + 1:>3d}/{total}] {tag:<6s} {cell.cell_id} "
-              f"final_acc={acc:.3f}")
+        line = f"{prefix} {tag:<6s} {cell.cell_id} final_acc={acc:.3f}"
+        if not reused:
+            # Throughput over the cells executed by this worker.
+            elapsed = time.monotonic() - state["start"]
+            if elapsed > 0:
+                rate = state["fresh"] / elapsed
+                line += f"  ({rate:.2f} cells/s"
+                # run() publishes pending_count from its one resume-file
+                # read, so only non-cached cells are priced into the ETA.
+                pending = runner.pending_count
+                if backend.exhaustive and pending is not None:
+                    # A shard worker cannot know its share up front
+                    # (lease claims are dynamic), so no ETA there.
+                    remaining = max(0, pending - state["fresh"])
+                    line += f", eta {_format_eta(remaining / rate)}"
+                line += ")"
+        print(line)
 
     try:
         runner = SweepRunner(
             grid,
-            workers=args.workers,
+            workers=workers,
+            backend=backend,
             output_path=args.output,
             resume=not args.no_resume,
             on_cell=progress,
         )
         rows = runner.run()
     except ValueError as exc:
-        # Bad --workers, or a corrupt (non-interrupt-shaped) resume file.
+        # Bad flags, or a corrupt (non-interrupt-shaped) resume file.
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
     print()
     print(sweep_summary_table(rows))
+    stats = backend.stats()
+    if stats.get("skipped"):
+        # Lease-mode skips are cells some worker durably completed;
+        # static-mode skips are merely assigned elsewhere and may not
+        # have run at all yet.
+        verb = (
+            "completed by other workers"
+            if args.lease_dir is not None
+            else "assigned to other shards"
+        )
+        print(f"\n{stats['skipped']} cell(s) {verb} "
+              f"(merge the shard files for the full grid)")
+    failures = failed_rows(rows)
+    if failures:
+        print(f"\n{len(failures)} cell(s) FAILED after "
+              f"{backend.max_retries + 1} attempt(s) each; error rows were "
+              f"streamed in their place.  Re-run the same command to retry "
+              f"just the failed cells.")
+        for row in failures:
+            print(f"  {row['cell_id']}: {row['error']['exception']}")
     if args.output:
         print(f"\nrows streamed to {args.output}")
-    return 0
+    return 1 if failures else 0
+
+
+def _cmd_sweep_merge(args: argparse.Namespace) -> int:
+    from repro.sweep import merge_shards
+
+    grid = None
+    if args.spec is not None:
+        loaded = _load_sweep_spec(args.spec)
+        if isinstance(loaded, str):
+            print(loaded, file=sys.stderr)
+            return 2
+        grid, _ = loaded
+    try:
+        report = merge_shards(
+            args.shards,
+            args.output,
+            grid=grid,
+            require_complete=not args.allow_incomplete,
+        )
+    except FileNotFoundError as exc:
+        print(f"merge failed: shard file not found: {exc.filename}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"merge failed: {exc}", file=sys.stderr)
+        return 2
+    print(f"merged {report.cells} cell(s) from {len(args.shards)} shard file(s) "
+          f"into {args.output}")
+    if grid is None:
+        # Index contiguity cannot see a truncated tail: only a spec
+        # knows how many cells the grid has.
+        print("  note: completeness beyond the highest observed index is "
+              "not verifiable without --spec")
+    if report.duplicates:
+        print(f"  {report.duplicates} duplicate row(s) collapsed")
+    if report.stale:
+        print(f"  {report.stale} stale row(s) dropped")
+    if report.renumbered:
+        print(f"  {report.renumbered} row(s) renumbered to the spec's "
+              f"cell order")
+    if report.missing:
+        print(f"  {len(report.missing)} cell(s) still missing")
+    if report.failed:
+        print(f"  {report.failed} cell(s) carry error rows — re-run their "
+              f"shards to retry")
+    # Missing cells only reach here when the operator opted in with
+    # --allow-incomplete, so they do not fail the command; error rows do.
+    return 1 if report.failed else 0
 
 
 def _cmd_theory(args: argparse.Namespace) -> int:
@@ -243,18 +500,56 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.set_defaults(func=_cmd_compare)
 
     sweep_parser = subparsers.add_parser(
-        "sweep", help="run a scenario grid described by a JSON spec file"
+        "sweep", help="run or merge scenario grids described by JSON spec files"
     )
-    sweep_parser.add_argument("spec", help="path to the sweep spec JSON (base + axes)")
-    sweep_parser.add_argument("--output", type=str, default=None,
-                              help="stream result rows to this JSONL file (enables resume)")
-    sweep_parser.add_argument("--workers", type=int, default=1,
-                              help="worker processes (1 = run in-process)")
-    sweep_parser.add_argument("--no-resume", action="store_true",
-                              help="re-run every cell, overwriting the existing output file")
-    sweep_parser.add_argument("--dry-run", action="store_true",
-                              help="list the expanded cells without running them")
-    sweep_parser.set_defaults(func=_cmd_sweep)
+    sweep_sub = sweep_parser.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="run a scenario grid (plain `sweep spec.json` implies `run`)"
+    )
+    sweep_run.add_argument("spec", help="path to the sweep spec JSON (base + axes)")
+    sweep_run.add_argument("--output", type=str, default=None,
+                           help="stream result rows to this JSONL file (enables resume)")
+    sweep_run.add_argument("--workers", type=int, default=None,
+                           help="worker processes (default 1 = run in-process)")
+    sweep_run.add_argument("--backend", choices=BACKEND_NAMES, default=None,
+                           help="execution backend (default: serial, or process "
+                                "when --workers > 1; shard for multi-host runs)")
+    sweep_run.add_argument("--shard", type=str, default=None, metavar="I/M",
+                           help="static shard assignment: run shard I of M "
+                                "(backend=shard; cells are assigned round-robin "
+                                "by grid index)")
+    sweep_run.add_argument("--lease-dir", type=str, default=None,
+                           help="shared directory of atomic lease files for "
+                                "dynamic cell claiming (backend=shard)")
+    sweep_run.add_argument("--lease-timeout", type=float, default=None,
+                           help="seconds before an unfinished lease counts as "
+                                "stale and is reclaimed (default 300; must "
+                                "exceed the slowest cell)")
+    sweep_run.add_argument("--max-retries", type=int, default=None,
+                           help="re-attempts for a raising cell before an error "
+                                "row is emitted in its place (default 0)")
+    sweep_run.add_argument("--no-resume", action="store_true",
+                           help="re-run every cell, overwriting the existing output file")
+    sweep_run.add_argument("--quiet", action="store_true",
+                           help="suppress per-cell progress lines (CI logs)")
+    sweep_run.add_argument("--dry-run", action="store_true",
+                           help="list the expanded cells without running them")
+    sweep_run.set_defaults(func=_cmd_sweep_run)
+
+    sweep_merge = sweep_sub.add_parser(
+        "merge", help="fold per-shard JSONL files into the canonical grid-order stream"
+    )
+    sweep_merge.add_argument("shards", nargs="+",
+                             help="the per-shard JSONL files to merge")
+    sweep_merge.add_argument("--output", type=str, required=True,
+                             help="write the merged grid-order JSONL here")
+    sweep_merge.add_argument("--spec", type=str, default=None,
+                             help="sweep spec to vet rows against (schema + "
+                                  "config match, completeness over the grid)")
+    sweep_merge.add_argument("--allow-incomplete", action="store_true",
+                             help="merge even when cells are missing")
+    sweep_merge.set_defaults(func=_cmd_sweep_merge)
 
     theory_parser = subparsers.add_parser("theory", help="print the Section 4 theory report")
     theory_parser.add_argument("--epsilon", type=float, default=1e-4)
@@ -265,10 +560,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _normalize_argv(argv: Sequence[str]) -> List[str]:
+    """Insert the implicit ``run`` sweep sub-command for back-compat.
+
+    ``repro sweep spec.json`` (spec-first *or* flag-first, as argparse
+    always allowed) predates the run/merge split, so unless the operator
+    named a sub-command — or asked for ``sweep``'s own help — ``run`` is
+    spliced in.
+    """
+    argv = list(argv)
+    if argv and argv[0] == "sweep" and len(argv) > 1:
+        if argv[1] not in ("run", "merge", "-h", "--help"):
+            argv.insert(1, "run")
+    return argv
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point (also exposed as ``python -m repro.cli``)."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = parser.parse_args(_normalize_argv(argv))
     return int(args.func(args))
 
 

@@ -3,6 +3,7 @@
 from repro.io.jsonl import (
     append_jsonl,
     dump_row,
+    iter_jsonl,
     read_jsonl,
     truncate_partial_tail,
     write_jsonl,
@@ -20,6 +21,7 @@ __all__ = [
     "dump_row",
     "history_from_dict",
     "history_to_dict",
+    "iter_jsonl",
     "load_histories",
     "metric_from_json",
     "read_jsonl",

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, Iterator, List, Union
 
 PathLike = Union[str, Path]
 
@@ -63,10 +63,12 @@ def write_jsonl(path: PathLike, rows: Iterable[dict]) -> Path:
     return target
 
 
-def read_jsonl(path: PathLike, *, skip_partial_tail: bool = True) -> List[dict]:
-    """Read every row of a JSONL file.
+def iter_jsonl(path: PathLike, *, skip_partial_tail: bool = True) -> Iterator[dict]:
+    """Stream the rows of a JSONL file one line at a time.
 
-    With ``skip_partial_tail`` (the default) a final line without a
+    The lazy counterpart of :func:`read_jsonl` — a multi-gigabyte sweep
+    file never needs to be resident in memory.  With
+    ``skip_partial_tail`` (the default) a final line without a
     terminating newline is silently dropped — whether or not its prefix
     happens to parse: that is exactly the state an interrupted writer
     leaves behind (each writer emits ``row + "\\n"`` in one write), and
@@ -75,23 +77,25 @@ def read_jsonl(path: PathLike, *, skip_partial_tail: bool = True) -> List[dict]:
     newline-terminated lines always raise ``ValueError``.
     """
     source = Path(path)
-    rows: List[dict] = []
-    text = source.read_text(encoding="utf-8")
-    lines = text.splitlines()
-    if skip_partial_tail and text and not text.endswith("\n") and lines:
-        lines = lines[:-1]
-    for lineno, line in enumerate(lines):
-        stripped = line.strip()
-        if not stripped:
-            continue
-        try:
-            parsed = json.loads(stripped)
-        except json.JSONDecodeError:
-            raise ValueError(f"{source}:{lineno + 1}: invalid JSONL line")
-        if not isinstance(parsed, dict):
-            raise ValueError(f"{source}:{lineno + 1}: JSONL row is not an object")
-        rows.append(parsed)
-    return rows
+    with source.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle):
+            if skip_partial_tail and not line.endswith("\n"):
+                return  # unterminated tail: an interrupted writer's bytes
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                parsed = json.loads(stripped)
+            except json.JSONDecodeError:
+                raise ValueError(f"{source}:{lineno + 1}: invalid JSONL line")
+            if not isinstance(parsed, dict):
+                raise ValueError(f"{source}:{lineno + 1}: JSONL row is not an object")
+            yield parsed
+
+
+def read_jsonl(path: PathLike, *, skip_partial_tail: bool = True) -> List[dict]:
+    """Read every row of a JSONL file (eager form of :func:`iter_jsonl`)."""
+    return list(iter_jsonl(path, skip_partial_tail=skip_partial_tail))
 
 
 def truncate_partial_tail(path: PathLike) -> int:

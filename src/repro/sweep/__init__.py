@@ -1,11 +1,31 @@
 """Batched scenario sweeps: declarative grids over experiment configs.
 
 ``ScenarioGrid`` expands axis specs into experiment configurations with
-deterministic per-cell seeds; ``SweepRunner`` executes them — serially
-or on a process pool — streaming one JSONL row per cell and resuming
-interrupted runs.  See ``docs/sweeps.md`` for the spec format and CLI.
+deterministic per-cell seeds; ``SweepRunner`` executes them through a
+pluggable execution backend — serially, on a process pool, or as one
+shard of a multi-host run (``repro.sweep.executors``) — streaming one
+JSONL row per cell and resuming interrupted runs.  ``repro.sweep.merge``
+folds per-shard files back into the canonical single-host stream.  See
+``docs/sweeps.md`` for the spec format and CLI.
 """
 
+from repro.sweep.executors import (
+    BACKEND_NAMES,
+    ERROR_ROW_SCHEMA_VERSION,
+    ROW_SCHEMA_VERSION,
+    ExecutionBackend,
+    LeaseStore,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardBackend,
+    assign_shard,
+    default_owner_id,
+    execute_payload,
+    grid_fingerprint,
+    make_backend,
+    row_matches_grid,
+    run_cell,
+)
 from repro.sweep.grid import (
     CONFIG_FIELDS,
     ScenarioGrid,
@@ -13,21 +33,40 @@ from repro.sweep.grid import (
     config_from_dict,
     config_to_dict,
 )
+from repro.sweep.merge import MergeReport, merge_shard_rows, merge_shards
 from repro.sweep.runner import (
-    ROW_SCHEMA_VERSION,
     SweepRunner,
+    failed_rows,
+    iter_rows_to_histories,
     rows_to_histories,
-    run_cell,
 )
 
 __all__ = [
+    "BACKEND_NAMES",
     "CONFIG_FIELDS",
+    "ERROR_ROW_SCHEMA_VERSION",
+    "ExecutionBackend",
+    "LeaseStore",
+    "MergeReport",
+    "ProcessPoolBackend",
     "ROW_SCHEMA_VERSION",
     "ScenarioGrid",
+    "SerialBackend",
+    "ShardBackend",
     "SweepCell",
     "SweepRunner",
+    "assign_shard",
     "config_from_dict",
     "config_to_dict",
+    "default_owner_id",
+    "execute_payload",
+    "failed_rows",
+    "grid_fingerprint",
+    "iter_rows_to_histories",
+    "make_backend",
+    "merge_shard_rows",
+    "merge_shards",
+    "row_matches_grid",
     "rows_to_histories",
     "run_cell",
 ]

@@ -1,20 +1,24 @@
 """Batched execution of scenario grids.
 
-:class:`SweepRunner` executes every cell of a :class:`ScenarioGrid`,
-either serially or on a ``multiprocessing`` worker pool, and streams one
+:class:`SweepRunner` executes every cell of a :class:`ScenarioGrid`
+through a pluggable :class:`~repro.sweep.executors.ExecutionBackend`
+(serial, process pool, or one shard of a multi-host run) and streams one
 JSONL row per completed cell.  Three properties make sweeps safe to run
 at scale:
 
 - **Determinism** — each cell's experiment is fully determined by its
   configuration (which embeds a per-cell seed), so a sweep produces the
-  same rows for any worker count.  Results are consumed in submission
-  order, so the output file is byte-for-byte identical as well.
+  same rows for any worker count or shard layout.  Exhaustive backends
+  consume results in submission order, so the output file is
+  byte-for-byte identical as well; shard files are folded back into
+  that same canonical stream by ``repro.sweep.merge``.
 - **Streaming** — a row is appended and flushed as soon as its cell
   finishes; an interrupt loses at most the cells in flight.
 - **Resume** — rows already present in the output file are trusted
   (matched by cell id *and* configuration) and their cells skipped, so
   re-running the same command after an interrupt completes the sweep
-  instead of restarting it.
+  instead of restarting it.  Error rows (cells that raised — see
+  ``repro.sweep.executors``) are *not* trusted: failed cells re-run.
 
 Cells sharing their data axes (dataset, sample budget, heterogeneity,
 partition seed) reuse one in-process build of the dataset and client
@@ -25,79 +29,90 @@ with the cache hot or cold.
 
 from __future__ import annotations
 
-import multiprocessing
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-from repro.io.jsonl import append_jsonl, read_jsonl, truncate_partial_tail
-from repro.io.results import history_from_dict, history_to_dict
-from repro.learning.experiment import run_experiment
+from repro.io.jsonl import append_jsonl, iter_jsonl, read_jsonl, truncate_partial_tail
+from repro.io.results import history_from_dict
 from repro.learning.history import TrainingHistory
-from repro.sweep.grid import ScenarioGrid, SweepCell, config_from_dict, config_to_dict
+from repro.sweep.executors import (
+    ERROR_ROW_SCHEMA_VERSION,
+    ROW_SCHEMA_VERSION,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    grid_fingerprint,
+    row_matches_grid,
+    run_cell,
+)
+from repro.sweep.grid import ScenarioGrid, SweepCell, config_to_dict
 from repro.utils.logging import get_logger
 
 _logger = get_logger("sweep.runner")
 
-#: Bumped when the row layout changes incompatibly.
-#: v2: corrected delivery accounting (crashed senders are `suppressed`,
-#: not `sent`; in-flight messages expire as `expired_at_reset`, not
-#: `dropped`; drop RNG decoupled from crash schedules) plus per-round
-#: delivery traces (`history.delivery_trace`, `summary.trace`).  Rows
-#: written by earlier versions are re-run on resume.
-ROW_SCHEMA_VERSION = 2
-
 PathLike = Union[str, Path]
 
+# Re-exported for backward compatibility: run_cell / ROW_SCHEMA_VERSION
+# historically lived here before the executor layer was split out.
+__all__ = [
+    "ERROR_ROW_SCHEMA_VERSION",
+    "ROW_SCHEMA_VERSION",
+    "SweepRunner",
+    "failed_rows",
+    "iter_rows_to_histories",
+    "rows_to_histories",
+    "run_cell",
+]
 
-def run_cell(payload: dict) -> dict:
-    """Execute one grid cell and build its result row.
 
-    Module-level (not a closure) so ``multiprocessing`` can ship it to
-    worker processes under any start method.  The row is a pure function
-    of the cell's configuration — the property the parallel == serial
-    and resume guarantees rest on.
+def iter_rows_to_histories(
+    rows: Union[PathLike, Iterable[dict]],
+) -> Iterator[Tuple[str, TrainingHistory]]:
+    """Lazily reconstruct ``(cell_id, history)`` pairs from sweep rows.
+
+    ``rows`` is either an iterable of row dicts or a path to a sweep
+    JSONL file, which is then streamed row by row — a large sweep file
+    never needs every decoded history in memory at once.  Skipped: error
+    rows, rows without a history, and — with a logged warning, since an
+    archived old-schema file would otherwise look mysteriously empty —
+    rows from another schema version (resume leaves those on disk next
+    to their fresh replacement).  A resumed file can still hold two
+    *current* rows for one cell (e.g. a stale-config row from an older
+    spec beside its re-run); pairs stream in file order, so the later —
+    fresher — one arrives last, matching the runner's fresh-row-wins
+    read-back for dict-building consumers.
     """
-    config = config_from_dict(payload["config"])
-    history = run_experiment(config)
-    summary = {
-        "final_accuracy": history.final_accuracy(),
-        "best_accuracy": history.best_accuracy(),
-        "final_loss": history.losses()[-1] if history.records else None,
-        "rounds": history.rounds,
-    }
-    if history.network_stats:
-        # Non-synchronous cells report their delivery counters next to
-        # the accuracies (synchronous cells stay byte-identical to the
-        # pre-engine row layout).
-        summary["network"] = dict(history.network_stats)
-    if history.delivery_trace:
-        # Compact per-round reading for the summary table; the full
-        # trace rides along in the row's "history".
-        from repro.analysis.reporting import delivery_trace_summary
-
-        summary["trace"] = delivery_trace_summary(history.delivery_trace)
-    return {
-        "schema": ROW_SCHEMA_VERSION,
-        "index": payload["index"],
-        "cell_id": payload["cell_id"],
-        "axes": payload["axes"],
-        "config": payload["config"],
-        "summary": summary,
-        "history": history_to_dict(history),
-    }
+    if isinstance(rows, (str, Path)):
+        rows = iter_jsonl(rows)
+    other_schema = 0
+    for row in rows:
+        if "history" not in row or "error" in row:
+            continue
+        if row.get("schema") != ROW_SCHEMA_VERSION:
+            other_schema += 1
+            continue
+        yield row["cell_id"], history_from_dict(row["history"])
+    if other_schema:
+        _logger.warning(
+            "skipped %d history row(s) from other schema versions "
+            "(current: v%d); re-run the sweep to refresh them",
+            other_schema, ROW_SCHEMA_VERSION,
+        )
 
 
-def rows_to_histories(rows: List[dict]) -> Dict[str, TrainingHistory]:
-    """Reconstruct the per-cell training histories, keyed by cell id."""
-    return {
-        row["cell_id"]: history_from_dict(row["history"])
-        for row in rows
-        if "history" in row
-    }
+def rows_to_histories(
+    rows: Union[PathLike, Iterable[dict]],
+) -> Dict[str, TrainingHistory]:
+    """Reconstruct the per-cell training histories, keyed by cell id.
+
+    Thin eager wrapper over :func:`iter_rows_to_histories`; prefer the
+    iterator for sweep files too large to hold decoded in memory.
+    """
+    return dict(iter_rows_to_histories(rows))
 
 
 class SweepRunner:
-    """Executes a scenario grid with optional parallelism and resume.
+    """Executes a scenario grid with pluggable execution and resume.
 
     Parameters
     ----------
@@ -107,12 +122,24 @@ class SweepRunner:
         1 (default) runs cells in-process; larger values use a
         ``multiprocessing`` pool of that size.  Either way results are
         consumed in cell order, so the streamed output is identical.
+        Ignored when ``backend`` is given explicitly.
+    backend:
+        An :class:`~repro.sweep.executors.ExecutionBackend` instance.
+        Defaults to :class:`SerialBackend` (``workers == 1``) or
+        :class:`ProcessPoolBackend` — the historical behaviour.  Pass a
+        :class:`~repro.sweep.executors.ShardBackend` to run one worker
+        of a multi-host sweep (the output file then holds only this
+        shard's rows; see ``repro.sweep.merge``).
+    max_retries:
+        How many times a raising cell is re-attempted before an error
+        row is emitted in its place.  Only used when ``backend`` is
+        built here; an explicit backend carries its own setting.
     output_path:
         Optional JSONL file to stream rows to.  Required for resume.
     resume:
         When true (default) and ``output_path`` exists, rows whose cell
         id and configuration match the current grid are reused and their
-        cells skipped.
+        cells skipped.  Error rows always re-run.
     on_cell:
         Optional callback ``(cell, row, reused)`` fired per completed
         cell — the CLI uses it for progress output.
@@ -123,6 +150,8 @@ class SweepRunner:
         grid: ScenarioGrid,
         *,
         workers: int = 1,
+        backend: Optional[ExecutionBackend] = None,
+        max_retries: int = 0,
         output_path: Optional[PathLike] = None,
         resume: bool = True,
         on_cell: Optional[Callable[[SweepCell, dict, bool], None]] = None,
@@ -131,9 +160,20 @@ class SweepRunner:
             raise ValueError(f"workers must be positive, got {workers}")
         self.grid = grid
         self.workers = int(workers)
+        if backend is None:
+            backend = (
+                SerialBackend(max_retries=max_retries)
+                if self.workers == 1
+                else ProcessPoolBackend(self.workers, max_retries=max_retries)
+            )
+        self.backend = backend
         self.output_path = None if output_path is None else Path(output_path)
         self.resume = bool(resume)
         self.on_cell = on_cell
+        #: How many cells the last :meth:`run` actually had to execute
+        #: (grid minus resumed rows); published before the first cell
+        #: runs so progress callbacks can price only the pending work.
+        self.pending_count: Optional[int] = None
 
     # -- resume bookkeeping --------------------------------------------------
     def completed_rows(
@@ -144,6 +184,7 @@ class SweepRunner:
         Only rows whose configuration matches the current grid count as
         completed; a row from an older spec with the same cell id is
         ignored (its cell re-runs and the fresh row wins on read-back).
+        Error rows never count — their cells re-run on resume.
         ``cells`` optionally supplies the already-expanded grid.
         """
         if not self.resume or self.output_path is None or not self.output_path.exists():
@@ -153,23 +194,42 @@ class SweepRunner:
         expected = {cell.cell_id: config_to_dict(cell.config) for cell in cells}
         completed: Dict[str, dict] = {}
         for row in read_jsonl(self.output_path):
-            cell_id = row.get("cell_id")
-            if (
-                isinstance(cell_id, str)
-                and cell_id in expected
-                and row.get("schema") == ROW_SCHEMA_VERSION
-                and row.get("config") == expected[cell_id]
-            ):
-                completed[cell_id] = row
+            if row_matches_grid(row, expected) and "error" not in row:
+                completed[row["cell_id"]] = row
         return completed
 
     # -- execution -----------------------------------------------------------
     def run(self) -> List[dict]:
-        """Run every pending cell; return all rows in grid order."""
+        """Run every pending cell; return the rows in grid order.
+
+        With an exhaustive backend (serial / process pool) the list
+        covers every cell.  With a shard backend it covers the cells
+        this worker ran or resumed — merge the shard files for the full
+        grid.
+        """
         cells = self.grid.validate()  # fail fast before any cell runs
+        if not self.resume and not self.backend.supports_no_resume:
+            raise ValueError(
+                "resume=False is not supported with a lease-dir shard "
+                "backend: done markers in the shared lease directory would "
+                "still suppress re-execution.  Clear the lease directory "
+                "(and the shard files) to restart a lease-mode sweep."
+            )
+        if self.output_path is None and self.backend.requires_output_path:
+            raise ValueError(
+                "a lease-dir shard backend needs an output path: each done "
+                "marker promises the rest of the fleet that the cell's row "
+                "is durable in this worker's shard file"
+            )
         completed = self.completed_rows(cells)
-        if self.output_path is not None and self.output_path.exists():
-            if self.resume:
+        if self.output_path is not None:
+            if not self.output_path.exists():
+                # Create the stream eagerly so even a worker that ends
+                # up running zero cells (e.g. an outpaced lease-mode
+                # shard) leaves a mergeable, resumable file behind.
+                self.output_path.parent.mkdir(parents=True, exist_ok=True)
+                self.output_path.touch()
+            elif self.resume:
                 # An interrupted writer may have left a partial final
                 # line; drop those bytes so appended rows start clean.
                 truncate_partial_tail(self.output_path)
@@ -178,17 +238,51 @@ class SweepRunner:
                 # appending duplicate rows after the existing ones.
                 self.output_path.write_text("")
         pending = [cell for cell in cells if cell.cell_id not in completed]
+        self.pending_count = len(pending)
         if completed:
             _logger.info(
                 "resuming sweep: %d/%d cells already completed",
                 len(completed), len(cells),
             )
 
+        payloads = [
+            {
+                "index": cell.index,
+                "cell_id": cell.cell_id,
+                "axes": cell.axes,
+                "config": config_to_dict(cell.config),
+            }
+            for cell in pending
+        ]
+        # The fingerprint namespaces lease-mode completion markers, so a
+        # reused lease dir never satisfies a revised spec; resumed rows
+        # are already durable in our stream, so a lease-mode backend
+        # re-announces their done markers for the fleet.
+        self.backend.bind_grid(grid_fingerprint(cells))
+        self.backend.note_completed(list(completed))
+        try:
+            results = self.backend.submit(payloads)
+            if self.backend.exhaustive:
+                return self._run_exhaustive(cells, completed, results)
+            return self._run_partial(cells, completed, results)
+        finally:
+            self.backend.close()
+
+    def _run_exhaustive(
+        self,
+        cells: List[SweepCell],
+        completed: Dict[str, dict],
+        results: Iterator[dict],
+    ) -> List[dict]:
+        """Lockstep walk: one backend row per pending cell, in grid order.
+
+        This is the original single-host path — progress callbacks
+        (fresh and cached alike) fire immediately and with monotonic
+        indices; pending results arrive in this same order from the
+        backend, so the streamed file is byte-identical to the
+        pre-backend runner.
+        """
         rows_by_id = dict(completed)
-        results = self._results(pending)
-        # Walk the grid in order so progress callbacks (fresh and
-        # cached alike) fire immediately and with monotonic indices;
-        # pending results arrive in this same order from _results.
         for cell in cells:
             if cell.cell_id in completed:
                 row, reused = completed[cell.cell_id], True
@@ -201,23 +295,39 @@ class SweepRunner:
                 self.on_cell(cell, row, reused)
         return [rows_by_id[cell.cell_id] for cell in cells]
 
-    def _results(self, pending: List[SweepCell]):
-        """Yield result rows for the pending cells, in submission order."""
-        payloads = [
-            {
-                "index": cell.index,
-                "cell_id": cell.cell_id,
-                "axes": cell.axes,
-                "config": config_to_dict(cell.config),
-            }
-            for cell in pending
+    def _run_partial(
+        self,
+        cells: List[SweepCell],
+        completed: Dict[str, dict],
+        results: Iterator[dict],
+    ) -> List[dict]:
+        """Stream a shard backend's rows as they complete.
+
+        The backend yields only the cells this worker executed (grid
+        order in static mode; claim order under leases), so cached rows
+        are reported up front and executed rows as they arrive.  Each
+        row is appended and flushed *before* the backend resumes — the
+        ordering lease done-markers rely on.
+        """
+        rows_by_id = dict(completed)
+        cell_by_id = {cell.cell_id: cell for cell in cells}
+        if self.on_cell is not None:
+            for cell in cells:
+                if cell.cell_id in completed:
+                    self.on_cell(cell, completed[cell.cell_id], True)
+        for row in results:
+            if self.output_path is not None:
+                append_jsonl(self.output_path, row)
+            rows_by_id[row["cell_id"]] = row
+            if self.on_cell is not None:
+                self.on_cell(cell_by_id[row["cell_id"]], row, False)
+        return [
+            rows_by_id[cell.cell_id]
+            for cell in cells
+            if cell.cell_id in rows_by_id
         ]
-        if self.workers == 1 or len(pending) <= 1:
-            for payload in payloads:
-                yield run_cell(payload)
-            return
-        # imap preserves submission order, so the streamed JSONL matches
-        # the serial execution byte for byte even when cells finish out
-        # of order.
-        with multiprocessing.Pool(processes=min(self.workers, len(pending))) as pool:
-            yield from pool.imap(run_cell, payloads)
+
+
+def failed_rows(rows: Iterable[dict]) -> List[dict]:
+    """The error rows among ``rows`` (cells that kept raising)."""
+    return [row for row in rows if "error" in row]
