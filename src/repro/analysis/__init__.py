@@ -1,10 +1,20 @@
-"""Analysis helpers for experiment traces.
+"""Analysis helpers for experiment traces and sweep row files.
 
 The paper's figures are read qualitatively: which algorithms *converge*,
 which *diverge* or oscillate, and how large the final accuracy gap is.
 This package turns those readings into reproducible numbers so the
 benchmark reports and EXPERIMENTS.md comparisons are computed rather
 than eyeballed.
+
+Three layers:
+
+- :mod:`repro.analysis.traces` / :mod:`repro.analysis.reporting` —
+  per-history classification and plain-text tables;
+- :mod:`repro.analysis.streaming` — constant-memory group-by
+  aggregation over arbitrarily large sweep JSONL files;
+- :mod:`repro.analysis.figures` / :mod:`repro.analysis.report` —
+  paper-figure reproductions, delivery heatmaps and the self-contained
+  HTML report behind ``repro analyze``.
 """
 
 from repro.analysis.traces import (
@@ -18,19 +28,50 @@ from repro.analysis.reporting import (
     comparison_table,
     delivery_rate,
     delivery_trace_summary,
+    format_percent,
     histories_to_records,
     sweep_summary_table,
 )
+from repro.analysis.streaming import (
+    GroupStats,
+    StreamingMoments,
+    SweepAnalysis,
+    analysis_table,
+    analyze_sweep_rows,
+)
+from repro.analysis.figures import (
+    FIGURE_BACKENDS,
+    FigureArtifact,
+    build_charts,
+    matplotlib_available,
+    render_figures,
+    write_figures,
+)
+from repro.analysis.report import render_html_report, write_html_report
 
 __all__ = [
+    "FIGURE_BACKENDS",
+    "FigureArtifact",
+    "GroupStats",
+    "StreamingMoments",
+    "SweepAnalysis",
     "TraceSummary",
+    "analysis_table",
+    "analyze_sweep_rows",
+    "build_charts",
     "classify_trace",
     "comparison_table",
     "delivery_rate",
     "delivery_trace_summary",
+    "format_percent",
     "histories_to_records",
+    "matplotlib_available",
     "moving_average",
     "relative_gap",
+    "render_figures",
+    "render_html_report",
     "summarize_history",
     "sweep_summary_table",
+    "write_figures",
+    "write_html_report",
 ]

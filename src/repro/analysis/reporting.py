@@ -7,7 +7,8 @@ the benchmark harness prints and EXPERIMENTS.md quotes.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.traces import summarize_history
 from repro.learning.history import TrainingHistory
@@ -71,6 +72,23 @@ def delivery_trace_summary(trace: Sequence[Mapping[str, int]]) -> Dict[str, obje
     }
 
 
+def format_percent(value: object, width: int = 7) -> str:
+    """Fixed-width rendering of a ``[0, 1]`` ratio as a percentage.
+
+    The single NaN-aware formatter shared by the sweep summary table,
+    the ``repro analyze`` tables and the CLI delivery summaries: ``None``
+    (a non-finite value sanitised away by the strict-JSON writer) and
+    ``NaN`` (nothing was sent, so no rate exists) render as ``-`` padded
+    to the same width instead of the misaligned ``nan%``.
+    """
+    from repro.io.results import metric_from_json
+
+    number = metric_from_json(value) if not isinstance(value, float) else value
+    if math.isnan(number):
+        return f"{'-':>{width}s}"
+    return f"{100.0 * number:>{width - 1}.1f}%"
+
+
 def comparison_table(
     histories: Mapping[str, TrainingHistory], *, num_classes: int = 10
 ) -> str:
@@ -93,24 +111,53 @@ def comparison_table(
     return "\n".join(lines)
 
 
-def sweep_summary_table(rows: Sequence[Mapping[str, object]]) -> str:
+def _recover_axis_names(rows: Sequence[Mapping[str, object]]) -> List[str]:
+    """Axis column names (and order) for a batch of sweep rows.
+
+    The row's ``"axes"`` mapping is authoritative for the *names* —
+    splitting the cell id would mis-parse legacy ids whose values embed
+    raw ``/`` or ``=`` (values are escaped since the cell-id escaping
+    fix, but archived rows predate it).  The cell id is only consulted
+    to restore the grid's axis *order*, which a sorted-keys JSONL round
+    trip loses, and only when it parses to exactly the axes mapping's
+    names.
+    """
+    axes = next(
+        (row["axes"] for row in rows if isinstance(row.get("axes"), Mapping)), None
+    )
+    cell_id = rows[0].get("cell_id")
+    parsed: Optional[List[str]] = None
+    if isinstance(cell_id, str) and "=" in cell_id:
+        from repro.sweep.grid import parse_cell_id
+
+        parsed = list(parse_cell_id(cell_id))
+    if axes is None:
+        return parsed or []
+    if parsed is not None and set(parsed) == set(axes) and len(parsed) == len(axes):
+        return parsed
+    return list(axes)
+
+
+def sweep_summary_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    axis_names: Optional[Sequence[str]] = None,
+) -> str:
     """Plain-text summary of a sweep: one row per scenario cell.
 
     ``rows`` are the JSONL rows produced by
     :class:`repro.sweep.runner.SweepRunner` (or a subset of them); the
     axis columns come from each row's ``"axes"`` mapping, followed by
-    the final/best accuracy of the cell.
+    the final/best accuracy of the cell.  ``axis_names`` pins the column
+    order (pass the grid's ``axis_names()`` when the spec is at hand);
+    otherwise the order is recovered from the first row's cell id where
+    unambiguous, falling back to the ``"axes"`` mapping's sorted order.
     """
     if not rows:
         return "(no sweep rows)"
-    # Column order follows the grid's axis order.  The cell id encodes
-    # it ("het=a/rule=b"); the axes mapping does not survive a JSONL
-    # round trip order-intact (rows are dumped with sorted keys).
-    cell_id = rows[0].get("cell_id")
-    if isinstance(cell_id, str) and "=" in cell_id:
-        axis_names = [part.split("=", 1)[0] for part in cell_id.split("/")]
-    else:
-        axis_names = list(rows[0].get("axes", {}))
+    axis_names = (
+        list(axis_names) if axis_names is not None else _recover_axis_names(rows)
+    )
     widths = {
         name: max(len(name), *(len(str(row["axes"].get(name, ""))) for row in rows))
         for name in axis_names
@@ -161,14 +208,18 @@ def sweep_summary_table(rows: Sequence[Mapping[str, object]]) -> str:
         if with_network:
             network = summary.get("network")
             if isinstance(network, dict):
-                line += f" {100.0 * delivery_rate(network):>6.1f}%"
+                line += f" {format_percent(delivery_rate(network))}"
             else:
                 line += f" {'-':>7s}"
         if with_trace:
             trace = summary.get("trace")
             if isinstance(trace, dict):
-                worst = metric_from_json(trace.get("worst_deliv"))
-                line += f" {100.0 * worst:>6.1f}% {int(trace.get('late', 0)):>6d}"
+                # A zero-sent cell has no rate: worst_deliv is NaN
+                # (nulled by the strict-JSON writer), rendered '-'.
+                line += (
+                    f" {format_percent(trace.get('worst_deliv'))}"
+                    f" {int(trace.get('late', 0)):>6d}"
+                )
             else:
                 line += f" {'-':>7s} {'-':>6s}"
         lines.append(line)

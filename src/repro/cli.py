@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four sub-commands cover the common workflows:
+The sub-commands cover the common workflows:
 
 - ``run`` — run one collaborative-learning experiment described by flags
   (setting, aggregation rule, attack, heterogeneity, ...), print the
@@ -16,6 +16,10 @@ Four sub-commands cover the common workflows:
 - ``sweep merge`` — fold per-shard JSONL files from a multi-host sweep
   into the canonical grid-order stream, byte-identical to a single-host
   run.
+- ``analyze`` — stream a sweep row file (arbitrarily large; ``.gz``
+  transparently decompressed) through the constant-memory aggregator
+  and emit a group-by table, deterministic JSON, or a self-contained
+  HTML report with inlined figures (see ``docs/analysis.md``).
 - ``theory`` — print the Section 4 report: measured approximation ratios
   on the adversarial constructions and the BOX-GEOM convergence trace.
 
@@ -28,6 +32,8 @@ Examples
     python -m repro.cli sweep spec.json --output results.jsonl --workers 4
     python -m repro.cli sweep run spec.json --backend shard --shard 0/2 --output shard0.jsonl
     python -m repro.cli sweep merge shard0.jsonl shard1.jsonl --output merged.jsonl --spec spec.json
+    python -m repro.cli analyze results.jsonl --group-by aggregation --format table
+    python -m repro.cli analyze results.jsonl --format html --output report.html --figures figs/
     python -m repro.cli theory
 """
 
@@ -45,6 +51,7 @@ from repro.agreement.registry import available_algorithms
 from repro.analysis.reporting import (
     comparison_table,
     delivery_trace_summary,
+    format_percent,
     sweep_summary_table,
 )
 from repro.byzantine.registry import available_attacks
@@ -123,9 +130,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"network delivery: {counters}")
     if history.delivery_trace:
         trace = delivery_trace_summary(history.delivery_trace)
+        # A zero-sent trace has no worst-round rate (NaN): render '-'.
+        worst = format_percent(trace["worst_deliv"]).strip()
         print(
             f"delivery trace: {trace['rounds']} rounds, "
-            f"worst round deliv {100.0 * trace['worst_deliv']:.1f}%, "
+            f"worst round deliv {worst}, "
             f"{trace['late']} late messages"
         )
     if args.save:
@@ -375,7 +384,9 @@ def _cmd_sweep_run(args: argparse.Namespace) -> int:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
     print()
-    print(sweep_summary_table(rows))
+    # The spec is at hand here, so pin the axis-column order to the grid
+    # instead of recovering it from the rows.
+    print(sweep_summary_table(rows, axis_names=grid.axis_names()))
     stats = backend.stats()
     if stats.get("skipped"):
         # Lease-mode skips are cells some worker durably completed;
@@ -446,6 +457,74 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> int:
     # Missing cells only reach here when the operator opted in with
     # --allow-incomplete, so they do not fail the command; error rows do.
     return 1 if report.failed else 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.figures import render_figures, write_figures
+    from repro.analysis.report import render_html_report
+    from repro.analysis.streaming import analysis_table, analyze_sweep_rows
+
+    rows_path = Path(args.rows)
+    if not rows_path.exists():
+        print(f"row file not found: {rows_path}", file=sys.stderr)
+        return 2
+    axis_names = None
+    if args.spec is not None:
+        loaded = _load_sweep_spec(args.spec)
+        if isinstance(loaded, str):
+            print(loaded, file=sys.stderr)
+            return 2
+        grid, _ = loaded
+        axis_names = grid.axis_names()
+    try:
+        analysis = analyze_sweep_rows(
+            rows_path,
+            group_by=args.group_by,
+            axis_names=axis_names,
+            classify=not args.no_classify,
+            curves=True,
+        )
+    except ValueError as exc:
+        # Unknown group-by axis, or a malformed JSONL line.
+        print(f"analyze failed: {exc}", file=sys.stderr)
+        return 2
+
+    # Figures are rendered once and shared between --figures and the
+    # HTML report; table/json output skips rendering unless asked.
+    figures = []
+    if args.figures is not None or args.format == "html":
+        try:
+            figures = render_figures(analysis, backend=args.figure_backend)
+        except ValueError as exc:
+            print(f"analyze failed: {exc}", file=sys.stderr)
+            return 2
+    if args.figures is not None:
+        paths = write_figures(figures, args.figures)
+        for path in paths:
+            print(f"figure written to {path}", file=sys.stderr)
+
+    if args.format == "table":
+        output = analysis_table(analysis)
+    elif args.format == "json":
+        output = json.dumps(analysis.to_json(), indent=2, sort_keys=True)
+    else:
+        output = render_html_report(
+            analysis, figures, source=str(rows_path)
+        )
+    if args.output:
+        target = Path(args.output)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(output + "\n", encoding="utf-8")
+        print(f"report written to {target}", file=sys.stderr)
+    else:
+        print(output)
+    if analysis.stale_rows:
+        print(
+            f"note: {analysis.stale_rows} stale row(s) skipped "
+            f"(older schema or missing axes)",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def _cmd_theory(args: argparse.Namespace) -> int:
@@ -551,6 +630,50 @@ def build_parser() -> argparse.ArgumentParser:
                              help="merge even when cells are missing")
     sweep_merge.set_defaults(func=_cmd_sweep_merge)
 
+    analyze_parser = subparsers.add_parser(
+        "analyze",
+        help="stream a sweep row file into tables, figures and HTML reports",
+    )
+    analyze_parser.add_argument(
+        "rows",
+        help="sweep JSONL row file (as streamed by `sweep run` or written "
+             "by `sweep merge`; `.gz` is decompressed transparently)",
+    )
+    analyze_parser.add_argument(
+        "--format", choices=("table", "json", "html"), default="table",
+        help="output format: plain-text group table (default), "
+             "deterministic JSON, or a self-contained HTML report with "
+             "inlined figures",
+    )
+    analyze_parser.add_argument(
+        "--group-by", nargs="+", default=None, metavar="AXIS",
+        help="axis names to aggregate over (default: every axis, i.e. one "
+             "group per cell)",
+    )
+    analyze_parser.add_argument(
+        "--spec", type=str, default=None,
+        help="sweep spec JSON; pins the axis-column order to the grid "
+             "instead of recovering it from the rows",
+    )
+    analyze_parser.add_argument(
+        "--output", type=str, default=None,
+        help="write the table/JSON/HTML here instead of stdout",
+    )
+    analyze_parser.add_argument(
+        "--figures", type=str, default=None, metavar="DIR",
+        help="also write one figure file per chart into this directory",
+    )
+    analyze_parser.add_argument(
+        "--figure-backend", choices=("auto", "svg", "mpl"), default="auto",
+        help="figure renderer: builtin deterministic SVG, matplotlib/Agg "
+             "PNG, or auto (matplotlib when installed, SVG otherwise)",
+    )
+    analyze_parser.add_argument(
+        "--no-classify", action="store_true",
+        help="skip per-cell trace classification (faster metric-only scan)",
+    )
+    analyze_parser.set_defaults(func=_cmd_analyze)
+
     theory_parser = subparsers.add_parser("theory", help="print the Section 4 theory report")
     theory_parser.add_argument("--epsilon", type=float, default=1e-4)
     theory_parser.add_argument("--rounds", type=int, default=8)
@@ -581,7 +704,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     args = parser.parse_args(_normalize_argv(argv))
-    return int(args.func(args))
+    try:
+        return int(args.func(args))
+    except BrokenPipeError:
+        # `repro analyze ... | head` closes stdout early; that is not an
+        # error.  Detach stdout so interpreter shutdown does not re-raise.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples

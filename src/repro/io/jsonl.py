@@ -9,12 +9,26 @@ tests (``tests/test_sweep.py``) assert.
 
 from __future__ import annotations
 
+import gzip
 import json
 import math
 from pathlib import Path
 from typing import Iterable, Iterator, List, Union
 
 PathLike = Union[str, Path]
+
+
+def _open_text(source: Path):
+    """Open a row file for reading, transparently decompressing ``.gz``.
+
+    Archived sweep files are often gzipped wholesale (the rows
+    themselves stay sorted-keys JSONL, so compression does not disturb
+    byte-identity checks on the decompressed stream); readers should not
+    care.
+    """
+    if source.suffix == ".gz":
+        return gzip.open(source, "rt", encoding="utf-8")
+    return source.open("r", encoding="utf-8")
 
 
 def _json_safe(value):
@@ -75,9 +89,12 @@ def iter_jsonl(path: PathLike, *, skip_partial_tail: bool = True) -> Iterator[di
     the resume logic simply re-runs the affected cell after
     :func:`truncate_partial_tail` removes the bytes.  Malformed
     newline-terminated lines always raise ``ValueError``.
+
+    Files ending in ``.gz`` are decompressed transparently, so archived
+    sweeps can be analysed without unpacking.
     """
     source = Path(path)
-    with source.open("r", encoding="utf-8") as handle:
+    with _open_text(source) as handle:
         for lineno, line in enumerate(handle):
             if skip_partial_tail and not line.endswith("\n"):
                 return  # unterminated tail: an interrupted writer's bytes

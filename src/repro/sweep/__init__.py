@@ -32,6 +32,9 @@ from repro.sweep.grid import (
     SweepCell,
     config_from_dict,
     config_to_dict,
+    escape_axis_value,
+    parse_cell_id,
+    unescape_axis_value,
 )
 from repro.sweep.merge import MergeReport, merge_shard_rows, merge_shards
 from repro.sweep.runner import (
@@ -59,6 +62,7 @@ __all__ = [
     "config_from_dict",
     "config_to_dict",
     "default_owner_id",
+    "escape_axis_value",
     "execute_payload",
     "failed_rows",
     "grid_fingerprint",
@@ -66,7 +70,9 @@ __all__ = [
     "make_backend",
     "merge_shard_rows",
     "merge_shards",
+    "parse_cell_id",
     "row_matches_grid",
     "rows_to_histories",
     "run_cell",
+    "unescape_axis_value",
 ]

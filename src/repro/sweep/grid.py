@@ -66,21 +66,60 @@ def config_from_dict(data: Mapping[str, object]) -> ExperimentConfig:
     return ExperimentConfig(**kwargs)  # type: ignore[arg-type]
 
 
+def escape_axis_value(text: str) -> str:
+    """Percent-encode the cell-id separators inside one axis value.
+
+    Cell ids join ``name=value`` pairs with ``/``, so a value containing
+    ``/`` or ``=`` (a fraction like ``"1/4"``, a dataset path, a kwargs
+    dict) would otherwise produce an *ambiguous* id — aliasing derived
+    per-cell seeds, lease keys and resume dedup.  Only the three
+    characters that break parsing are touched (``%`` first, as the
+    escape introducer), so every id that never needed escaping is
+    byte-identical to the historical format.
+    """
+    return text.replace("%", "%25").replace("/", "%2F").replace("=", "%3D")
+
+
+def unescape_axis_value(text: str) -> str:
+    """Inverse of :func:`escape_axis_value` (``%25`` decoded last)."""
+    return text.replace("%2F", "/").replace("%3D", "=").replace("%25", "%")
+
+
+def parse_cell_id(cell_id: str) -> Dict[str, str]:
+    """Split a cell id back into its ``{axis name: value string}`` pairs.
+
+    Values come back *unescaped*, i.e. as :func:`_format_axis_value`
+    rendered them before escaping.  Legacy ids whose values embed raw
+    ``/`` or ``=`` cannot be parsed unambiguously — consumers should
+    prefer a row's ``"axes"`` mapping and treat this as a fallback (see
+    :func:`repro.analysis.reporting.sweep_summary_table`).
+    """
+    pairs: Dict[str, str] = {}
+    for part in cell_id.split("/"):
+        name, _, value = part.partition("=")
+        pairs[unescape_axis_value(name)] = unescape_axis_value(value)
+    return pairs
+
+
 def _format_axis_value(value: object) -> str:
     """Render one axis value for a cell id (`None` means "no attack").
 
     Nested sequences (a ``crash_schedule`` axis value is a list of
     windows) join the inner level with ``-``: ``[[2, 0, 3]]`` becomes
-    ``2-0-3``.
+    ``2-0-3``.  The rendered text is escaped via
+    :func:`escape_axis_value` so the cell-id separators ``/`` and ``=``
+    never leak out of a value.
     """
     if value is None:
         return "none"
     if isinstance(value, (list, tuple)):
-        return "x".join(
+        rendered = "x".join(
             "-".join(str(u) for u in v) if isinstance(v, (list, tuple)) else str(v)
             for v in value
         )
-    return str(value)
+    else:
+        rendered = str(value)
+    return escape_axis_value(rendered)
 
 
 @dataclass(frozen=True)
@@ -178,9 +217,22 @@ class ScenarioGrid:
         """
         names = self.axis_names()
         cells: List[SweepCell] = []
+        seen: Dict[str, tuple] = {}
         for index, combo in enumerate(product(*self.axes.values())):
             overrides = dict(zip(names, combo))
             cell_id = self.cell_id(overrides)
+            # Collision guard: distinct combos must yield distinct ids.
+            # Escaping removes separator ambiguity, but two values can
+            # still *render* identically (e.g. the int 1 and the string
+            # "1" on different axes); seeds, leases and resume all key
+            # on the id, so aliasing would silently drop cells.
+            if cell_id in seen:
+                raise ValueError(
+                    f"cell id collision: combos {seen[cell_id]!r} and "
+                    f"{combo!r} both render as {cell_id!r}; make the axis "
+                    f"values render distinctly"
+                )
+            seen[cell_id] = combo
             if self.derive_seeds and "seed" not in overrides:
                 overrides["seed"] = stable_component_seed(
                     self.base.seed, "sweep-cell", cell_id

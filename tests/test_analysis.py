@@ -114,3 +114,118 @@ class TestSummaries:
         table = comparison_table(histories)
         assert "box-geom" in table and "md-mean" in table
         assert "verdict" in table
+
+
+class TestFormatPercent:
+    """The shared NaN-aware percent formatter (PR 6 bugfix)."""
+
+    def test_finite(self):
+        from repro.analysis.reporting import format_percent
+
+        assert format_percent(0.5) == "  50.0%"
+        assert format_percent(1.0) == " 100.0%"
+        assert len(format_percent(0.123)) == 7
+
+    def test_nan_and_none_render_dash(self):
+        from repro.analysis.reporting import format_percent
+
+        assert format_percent(float("nan")) == "      -"
+        # None is what the strict-JSON writer leaves behind for NaN.
+        assert format_percent(None) == "      -"
+        assert "nan" not in format_percent(float("nan"))
+
+    def test_width(self):
+        from repro.analysis.reporting import format_percent
+
+        assert format_percent(0.5, width=9) == "    50.0%"
+        assert format_percent(None, width=9) == "        -"
+
+
+class TestSweepTableNaN:
+    """Zero-sent cells render '-' instead of 'nan%' (PR 6 bugfix)."""
+
+    @staticmethod
+    def _row(index, worst, sent=0, delivered=0, late=0):
+        return {
+            "index": index,
+            "axes": {"aggregation": f"rule{index}"},
+            "summary": {
+                "final_accuracy": 0.5,
+                "best_accuracy": 0.6,
+                "rounds": 2,
+                "network": {"sent": sent, "delivered": delivered},
+                "trace": {"rounds": 2, "worst_deliv": worst, "late": late},
+            },
+        }
+
+    def test_zero_sent_trace_renders_dash(self):
+        from repro.analysis.reporting import sweep_summary_table
+
+        rows = [
+            self._row(0, worst=None),  # zero sent: NaN nulled by writer
+            self._row(1, worst=0.75, sent=8, delivered=6),
+        ]
+        table = sweep_summary_table(rows)
+        assert "nan" not in table
+        lines = table.splitlines()
+        assert lines[2].rstrip().endswith("-       -      0")
+        assert "75.0%" in lines[3]
+
+    def test_zero_sent_float_nan_renders_dash(self):
+        # In-process rows (no JSON round trip) carry the real NaN.
+        from repro.analysis.reporting import sweep_summary_table
+
+        table = sweep_summary_table([self._row(0, worst=float("nan"))])
+        assert "nan" not in table
+
+
+class TestAxisNameRecovery:
+    """Axes-mapping-first column recovery (PR 6 bugfix)."""
+
+    def test_order_recovered_from_escaped_cell_id(self):
+        from repro.analysis.reporting import sweep_summary_table
+
+        rows = [
+            {
+                "index": 0,
+                "cell_id": "beta=x/alpha=a%2Fb",
+                "axes": {"alpha": "a/b", "beta": "x"},
+                "summary": {"final_accuracy": 0.1, "best_accuracy": 0.1,
+                            "rounds": 1},
+            }
+        ]
+        header = sweep_summary_table(rows).splitlines()[0]
+        # Grid order (beta first) restored from the cell id, not the
+        # mapping's sorted order.
+        assert header.index("beta") < header.index("alpha")
+
+    def test_axes_mapping_wins_over_ambiguous_legacy_id(self):
+        from repro.analysis.reporting import sweep_summary_table
+
+        # A legacy id whose value embeds a raw '/' mis-parses into bogus
+        # names; the axes mapping is authoritative.
+        rows = [
+            {
+                "index": 0,
+                "cell_id": "alpha=a/b=c",  # pre-escaping id
+                "axes": {"alpha": "a/b=c"},
+                "summary": {"final_accuracy": 0.1, "best_accuracy": 0.1,
+                            "rounds": 1},
+            }
+        ]
+        header = sweep_summary_table(rows).splitlines()[0]
+        assert "alpha" in header and " b " not in header
+
+    def test_explicit_axis_names_pin_order(self):
+        from repro.analysis.reporting import sweep_summary_table
+
+        rows = [
+            {
+                "index": 0,
+                "axes": {"a": "1", "b": "2"},
+                "summary": {"final_accuracy": 0.1, "best_accuracy": 0.1,
+                            "rounds": 1},
+            }
+        ]
+        header = sweep_summary_table(rows, axis_names=["b", "a"]).splitlines()[0]
+        assert header.index("b") < header.index("a")

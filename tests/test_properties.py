@@ -144,3 +144,44 @@ class TestAggregationProperties:
             return
         rule = HyperboxGeometricMedian(n=n, t=t)
         np.testing.assert_allclose(rule.aggregate(mat), rule.aggregate(mat[perm]), atol=1e-7)
+
+
+class TestCellIdProperties:
+    """ScenarioGrid.cells() never yields duplicate or ambiguous ids."""
+
+    @given(
+        st.lists(
+            st.text(
+                alphabet=st.characters(
+                    blacklist_categories=("Cs",), min_codepoint=32
+                ),
+                min_size=0,
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=6,
+            unique=True,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_values_yield_distinct_parseable_ids(self, notes):
+        from repro.learning.experiment import ExperimentConfig
+        from repro.sweep import ScenarioGrid
+        from repro.sweep.grid import parse_cell_id
+
+        base = ExperimentConfig(
+            attack=None, num_byzantine=0, num_clients=4, rounds=1,
+            num_samples=40, batch_size=8, mlp_hidden=(8, 4), seed=5,
+        )
+        # attack_kwargs accepts arbitrary payloads, so any unicode text
+        # can ride into the cell id through its rendering.
+        grid = ScenarioGrid(
+            base, {"attack_kwargs": [{"note": note} for note in notes]}
+        )
+        cells = grid.cells()
+        ids = [cell.cell_id for cell in cells]
+        assert len(set(ids)) == len(ids) == len(notes)
+        for cell in cells:
+            parsed = parse_cell_id(cell.cell_id)
+            assert list(parsed) == ["attack_kwargs"]
+            assert parsed["attack_kwargs"] == str(cell.axes["attack_kwargs"])
