@@ -18,8 +18,11 @@ longer training); expect a much longer run time.
 from __future__ import annotations
 
 import os
+import platform
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
 
 from repro.learning.experiment import ExperimentConfig, run_experiment
 from repro.learning.history import TrainingHistory
@@ -31,6 +34,45 @@ PAPER_SCALE = os.environ.get("REPRO_BENCH_PAPER", "0") not in ("", "0", "false",
 def scaled(small, paper):
     """Pick the scaled-down or paper-scale value of a parameter."""
     return paper if PAPER_SCALE else small
+
+
+def build_info() -> Dict[str, object]:
+    """Numerical-stack provenance for BENCH_* artifacts.
+
+    Kernel timings depend as much on the BLAS build and its thread pool
+    as on the code under test, so every artifact row set records the
+    numpy version, the linked BLAS/LAPACK implementation, the machine,
+    and the thread-count environment in effect — successive CI runs can
+    then only be compared when this block matches.
+    """
+    try:
+        blas = np.show_config(mode="dicts").get("Build Dependencies", {}).get("blas", {})
+        blas_info = {
+            "name": blas.get("name", "unknown"),
+            "version": blas.get("version", "unknown"),
+        }
+    except Exception:  # pragma: no cover - older numpy without mode="dicts"
+        blas_info = {"name": "unknown", "version": "unknown"}
+    thread_env = {
+        var: os.environ.get(var)
+        for var in (
+            "OMP_NUM_THREADS",
+            "OPENBLAS_NUM_THREADS",
+            "MKL_NUM_THREADS",
+            "VECLIB_MAXIMUM_THREADS",
+            "NUMEXPR_NUM_THREADS",
+        )
+        if os.environ.get(var) is not None
+    }
+    return {
+        "numpy_version": np.__version__,
+        "blas": blas_info,
+        "python_version": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "thread_env": thread_env,
+        "kernel_backend": os.environ.get("REPRO_KERNEL_BACKEND", "numpy"),
+    }
 
 
 @dataclass

@@ -29,10 +29,10 @@ from typing import Dict, List, Optional
 import numpy as np
 
 try:
-    from _harness import print_report, scaled
+    from _harness import build_info, print_report, scaled
 except ImportError:  # pragma: no cover - direct script execution
     sys.path.insert(0, __file__.rsplit("/", 1)[0])
-    from _harness import print_report, scaled
+    from _harness import build_info, print_report, scaled
 
 from repro.engine import make_scheduler, run_exchange
 
@@ -116,6 +116,7 @@ def run_trajectory(smoke: bool = False) -> Dict[str, object]:
     return {
         "benchmark": "async_engine",
         "created_unix": time.time(),
+        "build": build_info(),
         "smoke": smoke,
         "cases": rows,
     }

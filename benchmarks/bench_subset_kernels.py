@@ -27,6 +27,7 @@ or through pytest:
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import sys
 import time
@@ -36,13 +37,15 @@ from typing import Dict, List, Optional
 import numpy as np
 
 try:
-    from _harness import print_report, scaled
+    from _harness import build_info, print_report, scaled
 except ImportError:  # pragma: no cover - direct script execution
     sys.path.insert(0, __file__.rsplit("/", 1)[0])
-    from _harness import print_report, scaled
+    from _harness import build_info, print_report, scaled
 
 from repro.linalg.distances import pairwise_distances
 from repro.linalg.geometric_median import geometric_median
+from repro.linalg.precision import tolerance_tier
+from repro.linalg.sparsity import detect_structure
 from repro.linalg.subset_kernels import (
     subset_diameters,
     subset_geometric_medians,
@@ -53,6 +56,14 @@ from repro.linalg.subset_kernels import (
 #: The acceptance configuration and its required speedup.
 HEADLINE = {"n": 16, "t": 4, "d": 64}
 HEADLINE_MIN_SPEEDUP = 5.0
+
+#: The precision/sparsity fast-path acceptance configuration: a large-d
+#: structured stack (exact-zero columns from a sparse gradient layer,
+#: duplicated rows from a coordinated sign-flip clique) where the
+#: float32 tier plus sparsity routing must beat the dense float64
+#: kernels by at least 10x end to end.
+FASTPATH = {"n": 16, "t": 4, "d": 10_000}
+FASTPATH_MIN_SPEEDUP = 10.0
 
 #: Weiszfeld settings matching the BOX-GEOM rule defaults.
 TOL = 1e-8
@@ -131,6 +142,98 @@ def measure_case(n: int, t: int, d: int, *, seed: int = 0) -> Dict[str, object]:
     }
 
 
+def _structured_stack(n: int, t: int, d: int, seed: int = 0) -> np.ndarray:
+    """Large-d stack with the structure real attack rounds produce.
+
+    Honest rows share an exact-zero column block (~90% of coordinates:
+    gradients of a mostly-inactive layer are exactly 0.0 for every
+    client computing the same architecture) and the Byzantine clique
+    sends byte-identical sign-flipped copies of one honest gradient.
+    """
+    rng = np.random.default_rng(seed)
+    active = max(1, d // 10)
+    mat = np.zeros((n, d), dtype=np.float64)
+    mat[: n - t, :active] = rng.normal(0.0, 1.0, size=(n - t, active))
+    # Flip only the active block: ``-5.0 * 0.0`` would produce ``-0.0``,
+    # and the structure detector deliberately treats ``-0.0`` as
+    # non-elidable (eliding it could flip the sign bit of a mean).
+    mat[n - t:, :active] = np.tile(-5.0 * mat[:1, :active], (t, 1))
+    return mat
+
+
+def measure_fastpath(n: int, t: int, d: int, *, seed: int = 0) -> Dict[str, object]:
+    """Dense float64 kernels vs. the float32 + sparsity fast path.
+
+    Both sides run the *batched* kernels — this measures the value of
+    the precision tier and the structure routing on top of batching,
+    not batching itself.  The fast path must stay inside the float32
+    tolerance tier against the dense float64 reference.
+    """
+    size = n - t
+    mat = _structured_stack(n, t, d, seed)
+    mat32 = mat.astype(np.float32)
+    indices = subset_index_matrix(n, size)
+    profile = detect_structure(mat)
+    profile32 = detect_structure(mat32)
+
+    def run(matrix, *, sparsity, profile):
+        dist = pairwise_distances(matrix, profile=profile, sparsity=sparsity)
+        diam = subset_diameters(
+            dist, indices, sparsity=sparsity, profile=profile
+        )
+        means = subset_means(
+            matrix, indices, sparsity=sparsity, profile=profile
+        )
+        medians = subset_geometric_medians(
+            matrix, indices, tol=TOL, max_iter=MAX_ITER, dist=dist,
+            sparsity=sparsity, profile=profile,
+        )
+        return diam, means, medians
+
+    gc.collect()
+    start = time.perf_counter()
+    dense = run(mat, sparsity="off", profile=None)
+    dense_s = time.perf_counter() - start
+
+    # Best-of-3: the dense run just touched gigabytes of temporaries, and
+    # on small CI machines the first pass after that pays allocator and
+    # page-cache penalties that have nothing to do with the kernels.
+    fast_s = float("inf")
+    for _ in range(3):
+        gc.collect()
+        start = time.perf_counter()
+        fast = run(mat32, sparsity="auto", profile=profile32)
+        fast_s = min(fast_s, time.perf_counter() - start)
+
+    # The float64 path with sparsity routing must be *bitwise* equal to
+    # the dense reference wherever the routing engages (means always;
+    # diameters/medians via subset dedup).
+    sparse64 = run(mat, sparsity="auto", profile=profile)
+    for ref, got, what in zip(dense, sparse64, ("diameters", "means", "medians")):
+        assert np.array_equal(ref, got), f"f64 sparsity path broke {what} bitwise"
+
+    tier = tolerance_tier("float32")
+    max_diffs = {}
+    for ref, got, what in zip(dense, fast, ("diameters", "means", "medians")):
+        assert tier.check(ref, got), f"float32 fast path out of tier on {what}"
+        max_diffs[what] = float(np.abs(ref - got).max())
+
+    return {
+        "n": n,
+        "t": t,
+        "d": d,
+        "subset_size": size,
+        "subsets": comb(n, size),
+        "unique_row_patterns": int(profile.num_unique_rows),
+        "zero_column_fraction": float(profile.zero_column_fraction),
+        "dense_float64_s": dense_s,
+        "fastpath_float32_s": fast_s,
+        "fastpath_speedup": dense_s / fast_s if fast_s > 0 else float("inf"),
+        "float32_max_abs_diff": max_diffs,
+        "tier": {"rtol": tier.rtol, "atol": tier.atol},
+    }
+
+
 def run_trajectory(smoke: bool = False) -> Dict[str, object]:
     """Measure the scaling trajectory plus the headline acceptance case."""
     if smoke:
@@ -143,13 +246,19 @@ def run_trajectory(smoke: bool = False) -> Dict[str, object]:
         measure_case(n, t, d) for (n, t, d) in cases
     ]
     headline = measure_case(HEADLINE["n"], HEADLINE["t"], HEADLINE["d"])
+    # The fast-path acceptance case runs in smoke mode too — it is the
+    # contract the precision/sparsity layer exists to honour.
+    fastpath = measure_fastpath(FASTPATH["n"], FASTPATH["t"], FASTPATH["d"])
     return {
         "benchmark": "subset_kernels",
         "created_unix": time.time(),
+        "build": build_info(),
         "smoke": smoke,
         "weiszfeld": {"tol": TOL, "max_iter": MAX_ITER},
         "headline_min_speedup": HEADLINE_MIN_SPEEDUP,
         "headline": headline,
+        "fastpath_min_speedup": FASTPATH_MIN_SPEEDUP,
+        "fastpath": fastpath,
         "trajectory": trajectory,
     }
 
@@ -174,6 +283,16 @@ def render_report(payload: Dict[str, object]) -> str:
         f"{head['geomedian_speedup']:.1f}x geomedian speedup "
         f"(required: >={payload['headline_min_speedup']:.0f}x)"
     )
+    fast = payload["fastpath"]
+    lines.append(
+        f"fast path (n={fast['n']}, t={fast['t']}, d={fast['d']}, "
+        f"{fast['unique_row_patterns']} unique rows, "
+        f"{fast['zero_column_fraction']:.0%} zero cols): "
+        f"dense f64 {fast['dense_float64_s']:.2f}s vs "
+        f"f32+sparsity {fast['fastpath_float32_s']:.2f}s = "
+        f"{fast['fastpath_speedup']:.1f}x "
+        f"(required: >={payload['fastpath_min_speedup']:.0f}x)"
+    )
     return "\n".join(lines)
 
 
@@ -182,6 +301,11 @@ def check_headline(payload: Dict[str, object]) -> None:
     assert speedup >= HEADLINE_MIN_SPEEDUP, (
         f"batched subset aggregation speedup {speedup:.2f}x is below the "
         f"required {HEADLINE_MIN_SPEEDUP:.0f}x at the headline configuration"
+    )
+    fast = payload["fastpath"]["fastpath_speedup"]
+    assert fast >= FASTPATH_MIN_SPEEDUP, (
+        f"float32 + sparsity fast path speedup {fast:.2f}x is below the "
+        f"required {FASTPATH_MIN_SPEEDUP:.0f}x at the large-d configuration"
     )
 
 

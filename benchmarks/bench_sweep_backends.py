@@ -31,10 +31,10 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 try:
-    from _harness import print_report, scaled
+    from _harness import build_info, print_report, scaled
 except ImportError:  # pragma: no cover - direct script execution
     sys.path.insert(0, __file__.rsplit("/", 1)[0])
-    from _harness import print_report, scaled
+    from _harness import build_info, print_report, scaled
 
 from repro.learning.experiment import ExperimentConfig
 from repro.sweep import (
@@ -155,6 +155,7 @@ def run_trajectory(smoke: bool = False) -> Dict[str, object]:
     return {
         "benchmark": "sweep_backends",
         "created_unix": time.time(),
+        "build": build_info(),
         "smoke": smoke,
         "cells": len(grid),
         "cases": cases,

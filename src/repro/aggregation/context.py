@@ -78,6 +78,19 @@ class AggregationContext:
         The ``(m, d)`` stack of received vectors the round operates on.
         Validated once here, so rules consuming the context can skip
         their own :func:`~repro.utils.validation.ensure_matrix` pass.
+    dtype:
+        Precision tier of the kernel layer — ``"float64"`` (default,
+        bitwise-identical to the historical path) or ``"float32"``
+        (float32 storage, float64 accumulation; see
+        :mod:`repro.linalg.precision`).  The wrapped matrix is stored in
+        this dtype; every cached artifact (distances, subset
+        aggregates) is still float64.
+    sparsity:
+        ``"auto"`` (default) detects bit-level structure — duplicated
+        rows, exact-zero columns — once per round and routes the subset
+        kernels through the reduced computation where that is exact for
+        the active tier; ``"off"`` forces the dense paths (see
+        :mod:`repro.linalg.sparsity`).
 
     Notes
     -----
@@ -92,11 +105,18 @@ class AggregationContext:
     :meth:`subset_geometric_medians`) cache only exhaustive families —
     they are deterministic functions of the wrapped matrix, so reuse is
     result-identical.  ``chunk_size`` arguments affect peak memory only,
-    never values, and are therefore not part of any cache key.
+    never values, and are therefore not part of any cache key; the
+    precision tier *does* change values, so every subset cache key is
+    prefixed with the dtype name (a context holds one matrix in one
+    dtype, but the explicit key keeps tiers un-mixable even if cached
+    tables are ever shared or serialised).
     """
 
     __slots__ = (
         "matrix",
+        "dtype_name",
+        "sparsity",
+        "_profile",
         "_sq_distances",
         "_distances",
         "_subset_indices",
@@ -105,14 +125,31 @@ class AggregationContext:
         "_subset_medians",
     )
 
-    def __init__(self, vectors: np.ndarray) -> None:
-        self.matrix = ensure_matrix(vectors, name="vectors", min_rows=1)
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        *,
+        dtype: "str | None" = None,
+        sparsity: str = "auto",
+    ) -> None:
+        from repro.linalg.precision import resolve_dtype
+        from repro.linalg.sparsity import resolve_sparsity
+
+        resolved = resolve_dtype(dtype)
+        self.matrix = ensure_matrix(
+            vectors, name="vectors", min_rows=1, dtype=resolved
+        )
+        self.dtype_name: str = resolved.name
+        self.sparsity: str = resolve_sparsity(sparsity)
+        self._profile = None
         self._sq_distances: Optional[np.ndarray] = None
         self._distances: Optional[np.ndarray] = None
         self._subset_indices: Dict[int, np.ndarray] = {}
-        self._subset_diameters: Dict[int, np.ndarray] = {}
-        self._subset_means: Dict[int, np.ndarray] = {}
-        self._subset_medians: Dict[Tuple[int, float, int, float], np.ndarray] = {}
+        self._subset_diameters: Dict[Tuple[str, int], np.ndarray] = {}
+        self._subset_means: Dict[Tuple[str, int], np.ndarray] = {}
+        self._subset_medians: Dict[
+            Tuple[str, int, float, int, float], np.ndarray
+        ] = {}
 
     @property
     def num_vectors(self) -> int:
@@ -125,13 +162,30 @@ class AggregationContext:
         return int(self.matrix.shape[1])
 
     @property
+    def profile(self):
+        """Bit-level structure of the wrapped matrix (memoised).
+
+        ``None`` when ``sparsity="off"`` — the kernels then never see a
+        profile and always run dense.
+        """
+        if self.sparsity == "off":
+            return None
+        if self._profile is None:
+            from repro.linalg.sparsity import detect_structure
+
+            self._profile = detect_structure(self.matrix)
+        return self._profile
+
+    @property
     def sq_distances(self) -> np.ndarray:
         """Lazily computed ``(m, m)`` squared-distance matrix (memoised)."""
         if self._sq_distances is None:
             from repro.linalg.distances import pairwise_sq_distances
 
             _CACHE_STATS["misses"] += 1
-            self._sq_distances = pairwise_sq_distances(self.matrix)
+            self._sq_distances = pairwise_sq_distances(
+                self.matrix, profile=self.profile, sparsity=self.sparsity
+            )
         else:
             _CACHE_STATS["hits"] += 1
         return self._sq_distances
@@ -179,15 +233,20 @@ class AggregationContext:
     ) -> np.ndarray:
         """Diameters of every exhaustive ``subset_size``-subset (memoised)."""
         size = self._check_subset_size(subset_size)
-        cached = self._subset_diameters.get(size)
+        key = (self.dtype_name, size)
+        cached = self._subset_diameters.get(key)
         if cached is None:
             from repro.linalg.subset_kernels import subset_diameters
 
             _CACHE_STATS["subset_misses"] += 1
             cached = subset_diameters(
-                self.distances, self.subset_indices(size), chunk_size=chunk_size
+                self.distances,
+                self.subset_indices(size),
+                chunk_size=chunk_size,
+                sparsity=self.sparsity,
+                profile=self.profile,
             )
-            self._subset_diameters[size] = cached
+            self._subset_diameters[key] = cached
         else:
             _CACHE_STATS["subset_hits"] += 1
         return cached
@@ -197,15 +256,20 @@ class AggregationContext:
     ) -> np.ndarray:
         """Means of every exhaustive ``subset_size``-subset (memoised)."""
         size = self._check_subset_size(subset_size)
-        cached = self._subset_means.get(size)
+        key = (self.dtype_name, size)
+        cached = self._subset_means.get(key)
         if cached is None:
             from repro.linalg.subset_kernels import subset_means
 
             _CACHE_STATS["subset_misses"] += 1
             cached = subset_means(
-                self.matrix, self.subset_indices(size), chunk_size=chunk_size
+                self.matrix,
+                self.subset_indices(size),
+                chunk_size=chunk_size,
+                sparsity=self.sparsity,
+                profile=self.profile,
             )
-            self._subset_means[size] = cached
+            self._subset_means[key] = cached
         else:
             _CACHE_STATS["subset_hits"] += 1
         return cached
@@ -221,11 +285,11 @@ class AggregationContext:
     ) -> np.ndarray:
         """Geometric medians of every exhaustive subset (memoised).
 
-        Cached per ``(subset_size, tol, max_iter, eps)`` so rules with
-        different solver settings never share results.
+        Cached per ``(dtype, subset_size, tol, max_iter, eps)`` so rules
+        with different solver settings never share results.
         """
         size = self._check_subset_size(subset_size)
-        key = (size, float(tol), int(max_iter), float(eps))
+        key = (self.dtype_name, size, float(tol), int(max_iter), float(eps))
         cached = self._subset_medians.get(key)
         if cached is None:
             from repro.linalg.subset_kernels import subset_geometric_medians
@@ -239,6 +303,8 @@ class AggregationContext:
                 eps=eps,
                 chunk_size=chunk_size,
                 dist=self.distances,
+                sparsity=self.sparsity,
+                profile=self.profile,
             )
             self._subset_medians[key] = cached
         else:
@@ -266,5 +332,5 @@ class AggregationContext:
         ]
         return (
             f"AggregationContext(m={self.num_vectors}, d={self.dimension}, "
-            f"cached={cached})"
+            f"dtype={self.dtype_name}, cached={cached})"
         )

@@ -60,6 +60,7 @@ class HyperboxGeometricMedianAgreement(AggregationAgreement):
         weiszfeld_tol: float = 1e-8,
         weiszfeld_max_iter: int = 100,
         chunk_size: Optional[int] = None,
+        dtype: Optional[str] = None,
     ) -> None:
         rule = HyperboxGeometricMedian(
             n=n,
@@ -70,7 +71,7 @@ class HyperboxGeometricMedianAgreement(AggregationAgreement):
             max_iter=weiszfeld_max_iter,
             chunk_size=chunk_size,
         )
-        super().__init__(n, t, rule)
+        super().__init__(n, t, rule, dtype=dtype)
         self.name = "box-geom"
 
 
@@ -87,11 +88,12 @@ class HyperboxMeanAgreement(AggregationAgreement):
         max_subsets: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
         chunk_size: Optional[int] = None,
+        dtype: Optional[str] = None,
     ) -> None:
         rule = HyperboxMean(
             n=n, t=t, max_subsets=max_subsets, rng=rng, chunk_size=chunk_size
         )
-        super().__init__(n, t, rule)
+        super().__init__(n, t, rule, dtype=dtype)
         self.name = "box-mean"
 
 
@@ -117,6 +119,7 @@ class MinimumDiameterGeometricMedianAgreement(AggregationAgreement):
         weiszfeld_tol: float = 1e-8,
         weiszfeld_max_iter: int = 200,
         chunk_size: Optional[int] = None,
+        dtype: Optional[str] = None,
     ) -> None:
         rule = MinimumDiameterGeometricMedian(
             n=n,
@@ -128,7 +131,7 @@ class MinimumDiameterGeometricMedianAgreement(AggregationAgreement):
             max_iter=weiszfeld_max_iter,
             chunk_size=chunk_size,
         )
-        super().__init__(n, t, rule)
+        super().__init__(n, t, rule, dtype=dtype)
         self.name = "md-geom"
 
 
@@ -146,6 +149,7 @@ class MinimumDiameterMeanAgreement(AggregationAgreement):
         rng: Optional[np.random.Generator] = None,
         tie_break: str = "first",
         chunk_size: Optional[int] = None,
+        dtype: Optional[str] = None,
     ) -> None:
         rule = MinimumDiameterMean(
             n=n,
@@ -155,7 +159,7 @@ class MinimumDiameterMeanAgreement(AggregationAgreement):
             tie_break=tie_break,
             chunk_size=chunk_size,
         )
-        super().__init__(n, t, rule)
+        super().__init__(n, t, rule, dtype=dtype)
         self.name = "md-mean"
 
 
@@ -168,9 +172,9 @@ class TrimmedMeanAgreement(AggregationAgreement):
 
     name = "trimmed-mean"
 
-    def __init__(self, n: int, t: int) -> None:
+    def __init__(self, n: int, t: int, *, dtype: Optional[str] = None) -> None:
         rule = TrimmedMean(n=n, t=t)
-        super().__init__(n, t, rule)
+        super().__init__(n, t, rule, dtype=dtype)
         self.name = "trimmed-mean"
 
 
@@ -183,8 +187,8 @@ class SimpleMeanAgreement(AggregationAgreement):
 
     name = "mean"
 
-    def __init__(self, n: int, t: int) -> None:
-        super().__init__(n, t, Mean(n=n, t=t))
+    def __init__(self, n: int, t: int, *, dtype: Optional[str] = None) -> None:
+        super().__init__(n, t, Mean(n=n, t=t), dtype=dtype)
         self.name = "mean"
 
 
@@ -198,6 +202,16 @@ class SimpleGeometricMedianAgreement(AggregationAgreement):
 
     name = "geomedian"
 
-    def __init__(self, n: int, t: int, *, tol: float = 1e-8, max_iter: int = 200) -> None:
-        super().__init__(n, t, GeometricMedian(n=n, t=t, tol=tol, max_iter=max_iter))
+    def __init__(
+        self,
+        n: int,
+        t: int,
+        *,
+        tol: float = 1e-8,
+        max_iter: int = 200,
+        dtype: Optional[str] = None,
+    ) -> None:
+        super().__init__(
+            n, t, GeometricMedian(n=n, t=t, tol=tol, max_iter=max_iter), dtype=dtype
+        )
         self.name = "geomedian"

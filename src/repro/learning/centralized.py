@@ -73,9 +73,13 @@ class CentralizedTrainer:
         flatten_inputs: bool = True,
         seed=0,
         engine: Optional[RoundEngine] = None,
+        dtype: Optional[str] = None,
     ) -> None:
+        from repro.linalg.precision import dtype_name
+
         if not clients:
             raise ValueError("at least one client is required")
+        self.dtype_name = dtype_name(dtype)
         self.global_model = global_model
         self.clients = list(clients)
         self.aggregation = aggregation
@@ -240,7 +244,9 @@ class CentralizedTrainer:
                 # One context per round: every distance-based step of the
                 # rule (and any diagnostics sharing it) reuses the same
                 # pairwise-distance matrix.
-                round_context = AggregationContext(np.stack(received, axis=0))
+                round_context = AggregationContext(
+                    np.stack(received, axis=0), dtype=self.dtype_name
+                )
                 aggregate = self.aggregation.aggregate(context=round_context)
                 parameters = self.optimizer.step(parameters, aggregate, round_index)
                 self.global_model.set_flat_parameters(parameters)

@@ -8,30 +8,93 @@ that computation vectorised and reused.
 
 from __future__ import annotations
 
+import os
+from typing import Optional
+
 import numpy as np
 
 from repro.utils.validation import ensure_matrix
 
+#: When set to a non-empty, non-"0" value, precomputed pairwise matrices
+#: are additionally checked for non-finite entries (a debug aid: the
+#: check is O(m^2) per call and the matrices come from trusted caches in
+#: production use).
+PAIRWISE_DEBUG_ENV = "REPRO_DEBUG_PAIRWISE"
 
-def pairwise_sq_distances(vectors: np.ndarray) -> np.ndarray:
+
+def pairwise_sq_distances(
+    vectors: np.ndarray,
+    *,
+    profile: "object | None" = None,
+    sparsity: str = "off",
+) -> np.ndarray:
     """Return the ``(m, m)`` matrix of squared Euclidean distances.
 
     Uses the expanded form ``|x|^2 + |y|^2 - 2 x.y`` which is O(m^2 d)
     with a single GEMM, instead of the naive O(m^2 d) loop.
     Negative values caused by floating point cancellation are clamped to
     zero so callers can safely take square roots.
+
+    Precision policy: float64 input takes the bitwise-pinned reference
+    path and returns float64.  float32 input runs the GEMM in float32
+    (half the bandwidth) with the squared-norm reduction accumulated in
+    float64, and still returns float64 so downstream consumers never
+    branch on dtype.  With ``sparsity="auto"`` the float32 tier also
+    collapses byte-identical rows to one representative and elides
+    exact-zero columns (see :mod:`repro.linalg.sparsity`); the float64
+    path never does — reduced-shape GEMMs are not guaranteed to
+    reproduce the dense result bit for bit.  ``profile`` optionally
+    supplies a precomputed :class:`~repro.linalg.sparsity.SparsityProfile`
+    of the same matrix.
     """
-    mat = ensure_matrix(vectors, name="vectors")
-    sq_norms = np.einsum("ij,ij->i", mat, mat)
-    sq = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (mat @ mat.T)
+    arr = np.asarray(vectors)
+    if arr.dtype == np.float32:
+        mat = ensure_matrix(arr, name="vectors", dtype=np.float32)
+    else:
+        mat = ensure_matrix(arr, name="vectors")
+    if mat.dtype == np.float64:
+        sq_norms = np.einsum("ij,ij->i", mat, mat)
+        sq = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (mat @ mat.T)
+        np.maximum(sq, 0.0, out=sq)
+        np.fill_diagonal(sq, 0.0)
+        return sq
+
+    from repro.linalg.sparsity import detect_structure, resolve_sparsity
+
+    mode = resolve_sparsity(sparsity)
+    prof = profile
+    if mode == "auto" and prof is None:
+        prof = detect_structure(mat)
+    work = mat
+    group_map = None
+    if mode == "auto" and prof is not None:
+        if prof.elidable():
+            work = work[:, prof.nonzero_columns]
+        if prof.has_duplicate_rows:
+            reps = np.unique(prof.row_group_ids)
+            group_map = np.searchsorted(reps, prof.row_group_ids)
+            work = work[reps]
+    sq_norms = np.einsum("ij,ij->i", work, work, dtype=np.float64)
+    sq = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (work @ work.T).astype(
+        np.float64
+    )
     np.maximum(sq, 0.0, out=sq)
     np.fill_diagonal(sq, 0.0)
+    if group_map is not None:
+        # Scatter the unique-row matrix back out; duplicate pairs land
+        # on a diagonal entry of the reduced matrix, i.e. exactly 0.0.
+        sq = sq[group_map[:, None], group_map[None, :]]
     return sq
 
 
-def pairwise_distances(vectors: np.ndarray) -> np.ndarray:
+def pairwise_distances(
+    vectors: np.ndarray,
+    *,
+    profile: "object | None" = None,
+    sparsity: str = "off",
+) -> np.ndarray:
     """Return the ``(m, m)`` matrix of Euclidean distances."""
-    return np.sqrt(pairwise_sq_distances(vectors))
+    return np.sqrt(pairwise_sq_distances(vectors, profile=profile, sparsity=sparsity))
 
 
 def resolve_pairwise_matrix(
@@ -39,24 +102,43 @@ def resolve_pairwise_matrix(
     precomputed: "np.ndarray | None",
     *,
     squared: bool = False,
+    check_finite: Optional[bool] = None,
 ) -> np.ndarray:
     """Validate a caller-supplied pairwise matrix or compute one.
 
     Shared by every consumer that accepts a precomputed distance matrix
     (Krum scores, the medoid, the minimum-diameter subset search) — e.g.
     from an :class:`~repro.aggregation.context.AggregationContext`.
-    ``squared`` selects which matrix is computed when none is supplied;
-    a supplied matrix is only shape-checked, trusting the caller on the
-    squared/plain distinction.
+    ``squared`` selects which matrix is computed when none is supplied
+    and names the caller's expectation in every validation error; a
+    supplied matrix is checked for shape and a floating dtype, trusting
+    the caller on the squared/plain distinction (the values themselves
+    cannot distinguish the two).  ``check_finite`` adds an O(m^2)
+    NaN/inf sweep; it defaults to the :data:`PAIRWISE_DEBUG_ENV`
+    environment toggle so production paths stay validation-free.
     """
     m = vectors.shape[0]
+    kind = "squared Euclidean" if squared else "Euclidean"
     if precomputed is None:
         return pairwise_sq_distances(vectors) if squared else pairwise_distances(vectors)
-    if precomputed.shape != (m, m):
+    pre = np.asarray(precomputed)
+    if pre.shape != (m, m):
         raise ValueError(
-            f"pairwise matrix must have shape {(m, m)}, got {precomputed.shape}"
+            f"pairwise matrix must have shape {(m, m)}, got {pre.shape}"
         )
-    return precomputed
+    if not np.issubdtype(pre.dtype, np.floating):
+        raise ValueError(
+            f"precomputed pairwise matrix must hold floating-point {kind} "
+            f"distances, got dtype {pre.dtype}"
+        )
+    if check_finite is None:
+        check_finite = os.environ.get(PAIRWISE_DEBUG_ENV, "0") not in ("", "0")
+    if check_finite and not np.all(np.isfinite(pre)):
+        raise ValueError(
+            f"precomputed pairwise matrix contains non-finite entries; the "
+            f"caller expected finite {kind} distances"
+        )
+    return pre
 
 
 def diameter(vectors: np.ndarray) -> float:

@@ -234,11 +234,22 @@ class BatchedWeiszfeldResult:
 
 
 def _batched_pairwise_distances(points: np.ndarray) -> np.ndarray:
-    """``(S, s, s)`` pairwise distances per set, via one batched GEMM."""
-    sq_norms = np.einsum("asd,asd->as", points, points)
-    sq = sq_norms[:, :, None] + sq_norms[:, None, :] - 2.0 * (
-        points @ points.transpose(0, 2, 1)
-    )
+    """``(S, s, s)`` pairwise distances per set, via one batched GEMM.
+
+    float32 point sets run the batched GEMM in float32 and accumulate
+    the squared norms in float64 (the precision policy of
+    :mod:`repro.linalg.precision`); the result is float64 either way.
+    """
+    if points.dtype == np.float64:
+        sq_norms = np.einsum("asd,asd->as", points, points)
+        sq = sq_norms[:, :, None] + sq_norms[:, None, :] - 2.0 * (
+            points @ points.transpose(0, 2, 1)
+        )
+    else:
+        sq_norms = np.einsum("asd,asd->as", points, points, dtype=np.float64)
+        sq = sq_norms[:, :, None] + sq_norms[:, None, :] - 2.0 * (
+            points @ points.transpose(0, 2, 1)
+        ).astype(np.float64)
     np.maximum(sq, 0.0, out=sq)
     diag = np.arange(points.shape[1])
     sq[:, diag, diag] = 0.0
@@ -255,6 +266,7 @@ def batched_geometric_median(
     initial: Optional[np.ndarray] = None,
     pairwise: Optional[np.ndarray] = None,
     return_info: bool = False,
+    validate_pairwise: bool = True,
 ) -> np.ndarray | BatchedWeiszfeldResult:
     """Weiszfeld iteration over ``S`` independent point sets at once.
 
@@ -263,12 +275,22 @@ def batched_geometric_median(
     iteration updates all still-active sets with a handful of fused
     array operations instead of S separate Python-level solves.
     Converged sets are frozen (masked out of subsequent updates) and the
-    loop exits as soon as every set has converged.
+    loop exits as soon as every set has converged.  The iteration body
+    itself is supplied by the active kernel backend
+    (:func:`repro.linalg.backends.get_kernel_backend`): the numpy
+    reference is the pinned ground truth, a compiled backend may trade
+    bitwise identity for speed within its documented tier.
 
     Parameters
     ----------
     points:
         ``(S, s, d)`` tensor — S sets of s points in dimension d.
+        float64 and float32 storage are both accepted (anything else is
+        promoted to float64): float32 keeps the iteration tensors in
+        float32 while accumulating the distance reductions and
+        denominators in float64, and the returned medians are float64
+        within the float32 tolerance tier
+        (:data:`repro.linalg.precision.TOLERANCE_TIERS`).
     weights:
         Optional non-negative weights, shape ``(s,)`` (shared) or
         ``(S, s)`` (per set); defaults to uniform.
@@ -282,6 +304,10 @@ def batched_geometric_median(
         vertex-snap step; computed with one batched GEMM when absent.
     return_info:
         When true, return a :class:`BatchedWeiszfeldResult`.
+    validate_pairwise:
+        Pass ``False`` when ``pairwise`` is a gather from an
+        already-validated ``(m, m)`` matrix (the chunked subset kernel
+        does) to skip the per-chunk dtype/shape re-validation.
 
     Notes
     -----
@@ -290,7 +316,11 @@ def batched_geometric_median(
     but batched reductions accumulate sums in a different order, so
     bitwise equality is not guaranteed.
     """
-    pts = np.asarray(points, dtype=np.float64)
+    from repro.linalg.backends import get_kernel_backend
+
+    pts = np.asarray(points)
+    if pts.dtype != np.float32:
+        pts = np.asarray(pts, dtype=np.float64)
     if pts.ndim != 3:
         raise ValueError(f"points must be an (S, s, d) tensor, got shape {pts.shape}")
     num_sets, s, d = pts.shape
@@ -315,7 +345,9 @@ def batched_geometric_median(
         w = np.ascontiguousarray(w)
 
     if num_sets == 0 or s == 1:
-        current = pts[:, 0, :].copy() if s == 1 else np.empty((0, d))
+        current = (
+            pts[:, 0, :].astype(np.float64) if s == 1 else np.empty((0, d))
+        )
         info = BatchedWeiszfeldResult(
             points=current,
             iterations=np.zeros(num_sets, dtype=np.int64),
@@ -324,9 +356,14 @@ def batched_geometric_median(
         )
         return info if return_info else current
 
+    low_precision = pts.dtype != np.float64
     if initial is None:
         totals = w.sum(axis=1)
-        current = np.einsum("as,asd->ad", w, pts) / totals[:, None]
+        if low_precision:
+            current = np.einsum("as,asd->ad", w, pts, dtype=np.float64)
+        else:
+            current = np.einsum("as,asd->ad", w, pts)
+        current /= totals[:, None]
     else:
         current = np.asarray(initial, dtype=np.float64).copy()
         if current.shape != (num_sets, d):
@@ -334,46 +371,22 @@ def batched_geometric_median(
                 f"initial must have shape {(num_sets, d)}, got {current.shape}"
             )
 
-    converged = np.zeros(num_sets, dtype=bool)
-    iterations = np.zeros(num_sets, dtype=np.int64)
-    # The working arrays shrink as sets converge; `active` maps working
-    # rows back to set indices.  Retired rows are written back once, so
-    # an iteration with no retirements touches no (A, s, d) gather.
-    active = np.arange(num_sets)
-    sub = pts
-    w_act = w
-    cur = current
-    for _ in range(max_iter):
-        diffs = sub - cur[:, None, :]
-        dists = np.sqrt(np.einsum("asd,asd->as", diffs, diffs))
-        inv = w_act / np.maximum(dists, eps)
-        new_points = np.einsum("as,asd->ad", inv, sub) / inv.sum(axis=1)[:, None]
-        move = np.linalg.norm(new_points - cur, axis=1)
-        cur = new_points
-        iterations[active] += 1
-        done = move <= tol
-        if done.any():
-            retired = active[done]
-            current[retired] = cur[done]
-            converged[retired] = True
-            keep = ~done
-            active = active[keep]
-            if active.size == 0:
-                break
-            sub = sub[keep]
-            w_act = w_act[keep]
-            cur = cur[keep]
-    if active.size:
-        current[active] = cur
+    current, iterations, converged = get_kernel_backend().weiszfeld_loop(
+        pts, w, current, tol=tol, max_iter=max_iter, eps=eps
+    )
 
     # Final objective values, then the same snap-to-best-vertex repair as
     # the scalar solver (clear improvements only, 1e-9 relative margin).
-    diffs = pts - current[:, None, :]
-    dists = np.sqrt(np.einsum("asd,asd->as", diffs, diffs))
+    if low_precision:
+        diffs = pts - current.astype(pts.dtype)[:, None, :]
+        dists = np.sqrt(np.einsum("asd,asd->as", diffs, diffs, dtype=np.float64))
+    else:
+        diffs = pts - current[:, None, :]
+        dists = np.sqrt(np.einsum("asd,asd->as", diffs, diffs))
     costs = np.einsum("as,as->a", w, dists)
     if pairwise is None:
         pairwise = _batched_pairwise_distances(pts)
-    else:
+    elif validate_pairwise:
         pairwise = np.asarray(pairwise, dtype=np.float64)
         if pairwise.shape != (num_sets, s, s):
             raise ValueError(

@@ -1,0 +1,146 @@
+"""Precision policy for the aggregation kernels.
+
+The hot kernels (pairwise distances, subset means/diameters, batched
+Weiszfeld) historically ran dense float64 end to end.  This module
+defines the **precision tiers** the kernel layer supports and the
+equivalence contract each tier promises against the float64 reference:
+
+- ``float64`` — the default.  Results are **bitwise-identical** to the
+  pre-tier kernels; every pinned equivalence fixture must keep passing
+  unchanged.
+- ``float32`` — iteration tensors (the ``(S, s, d)`` Weiszfeld tensor,
+  the GEMM inside the Gram-trick distances) are stored and streamed in
+  float32, while the reductions where cancellation actually hurts —
+  squared-norm accumulations and the Weiszfeld inverse-distance
+  denominators — accumulate in float64.  Aggregates are returned as
+  float64 and match the float64 reference within the documented
+  :class:`ToleranceTier` (see ``docs/performance.md``).
+
+``resolve_dtype`` is the single entry point every knob (config field,
+CLI flag, sweep axis, :class:`~repro.aggregation.context.AggregationContext`
+argument) funnels through, so an unsupported dtype fails loudly at
+configuration time instead of producing silently-degraded numerics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Names accepted by every dtype knob, in preference order.
+SUPPORTED_DTYPES = ("float64", "float32")
+
+#: Default tier: bitwise-compatible with the historical kernels.
+DEFAULT_DTYPE = "float64"
+
+
+@dataclass(frozen=True)
+class ToleranceTier:
+    """Equivalence contract of one precision tier vs. the float64 path.
+
+    Attributes
+    ----------
+    name:
+        Canonical dtype name (``"float64"`` / ``"float32"``).
+    bitwise:
+        When true, results must be bit-for-bit identical to the
+        reference kernels (``rtol``/``atol`` are both zero).
+    rtol, atol:
+        ``np.allclose``-style bounds for non-bitwise tiers, calibrated
+        for unit-to-tens scale inputs (gradients, agreement vectors).
+    description:
+        One-line summary rendered into docs and error messages.
+    """
+
+    name: str
+    bitwise: bool
+    rtol: float
+    atol: float
+    description: str
+
+    def check(self, reference: np.ndarray, result: np.ndarray) -> bool:
+        """Whether ``result`` satisfies this tier against ``reference``."""
+        if self.bitwise:
+            return bool(np.array_equal(reference, result))
+        return bool(np.allclose(reference, result, rtol=self.rtol, atol=self.atol))
+
+
+#: The documented equivalence contract per tier.  float32 bounds are
+#: calibrated (with margin) on the precision-tier test suite: storage in
+#: float32 carries ~6e-8 relative error per element and the Weiszfeld
+#: fixed point amplifies it by at most a few orders of magnitude, while
+#: all cancellation-prone reductions stay in float64.
+TOLERANCE_TIERS = {
+    "float64": ToleranceTier(
+        name="float64",
+        bitwise=True,
+        rtol=0.0,
+        atol=0.0,
+        description="bitwise-identical to the reference kernels",
+    ),
+    "float32": ToleranceTier(
+        name="float32",
+        bitwise=False,
+        rtol=1e-3,
+        atol=1e-3,
+        description=(
+            "float32 storage with float64 accumulation; matches the "
+            "float64 path within rtol=1e-3 / atol=1e-3 for unit-to-tens "
+            "scale inputs"
+        ),
+    ),
+}
+
+
+def resolve_dtype(dtype: "str | np.dtype | type | None") -> np.dtype:
+    """Canonical :class:`numpy.dtype` for a precision knob value.
+
+    ``None`` resolves to the :data:`DEFAULT_DTYPE`.  Anything outside
+    :data:`SUPPORTED_DTYPES` raises ``ValueError`` so a typo'd sweep
+    axis fails before any cell runs.
+    """
+    if dtype is None:
+        return np.dtype(DEFAULT_DTYPE)
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as exc:
+        raise ValueError(
+            f"unsupported kernel dtype {dtype!r}; supported: {SUPPORTED_DTYPES}"
+        ) from exc
+    if resolved.name not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported kernel dtype {dtype!r}; supported: {SUPPORTED_DTYPES}"
+        )
+    return resolved
+
+
+def dtype_name(dtype: "str | np.dtype | type | None") -> str:
+    """Canonical name (``"float64"`` / ``"float32"``) of a dtype knob."""
+    return resolve_dtype(dtype).name
+
+
+def tolerance_tier(dtype: "str | np.dtype | type | None") -> ToleranceTier:
+    """The :class:`ToleranceTier` contract governing ``dtype``."""
+    return TOLERANCE_TIERS[dtype_name(dtype)]
+
+
+def accumulation_dtype(dtype: "str | np.dtype | type | None") -> np.dtype:
+    """Accumulator dtype for reductions: always float64.
+
+    Kept as a function (rather than a constant) so call sites document
+    *why* a reduction names float64 explicitly — it is the accumulation
+    half of the precision policy, not an accidental upcast.
+    """
+    resolve_dtype(dtype)  # validate, even though the answer is fixed
+    return np.dtype(np.float64)
+
+
+def working_matrix(matrix: np.ndarray, dtype: Optional[str] = None) -> np.ndarray:
+    """Cast a validated ``(m, d)`` matrix to the requested tier's storage.
+
+    No-copy when the matrix already has the requested dtype — the
+    float64 default therefore never duplicates the received stack.
+    """
+    return np.asarray(matrix, dtype=resolve_dtype(dtype))

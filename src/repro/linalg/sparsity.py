@@ -1,0 +1,175 @@
+"""Structure detection for received update stacks.
+
+Adversarial rounds are rarely "generic" dense data: the sign-flip and
+omniscient attacks send the *same* corrupted vector from every Byzantine
+node (duplicated rows), label-flip poisoning and sparse models zero out
+entire coordinates (exact-zero columns), and partition attacks echo
+honest vectors verbatim.  The subset kernels pay O(C(m, n-t) · s · d)
+for that redundancy when run dense.
+
+This module detects the two structures the fast paths exploit, at the
+**bit level** so the float64 default can stay exactly equivalent:
+
+- **Duplicated rows** — rows are grouped by byte-equality
+  (:attr:`SparsityProfile.row_group_ids`).  Two subsets whose index
+  tuples map to the same group-id pattern gather bit-identical
+  ``(s, d)`` point sets, so any per-subset kernel value can be computed
+  once per *pattern* and scattered back (:func:`dedup_subsets`).  This
+  is exact for every dtype: the representative subset runs through the
+  very same kernel, it is merely not run twice.
+- **Exact-zero columns** — columns whose entries are all ``+0.0``
+  *by bit pattern* (``-0.0`` is excluded: it survives means but flips
+  signs under subtraction).  Elision is a **float32-tier-only** fast
+  path for every kernel.  It obviously reorders the reductions inside
+  distance/Weiszfeld kernels, but it is not even safe for per-column
+  means: dropping columns changes the stride of the reduction axis,
+  and numpy picks its summation order (sequential vs. unrolled
+  pairwise) by that stride, so the mean of an *untouched* column can
+  move by an ulp.  Only the float32 tolerance contract
+  (:mod:`repro.linalg.precision`) absorbs the reordering.
+
+Profiles are cheap — O(m·d) with small constants — and cached per round
+on the :class:`~repro.aggregation.context.AggregationContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Sparsity knob values accepted by the kernels and the context.
+SPARSITY_MODES = ("auto", "off")
+
+#: Minimum fraction of exact-zero columns before elision pays for the
+#: column gather it introduces.
+MIN_ZERO_COLUMN_FRACTION = 0.125
+
+
+def resolve_sparsity(mode: "str | None") -> str:
+    """Validate a sparsity knob value (``None`` means ``"auto"``)."""
+    if mode is None:
+        return "auto"
+    if mode not in SPARSITY_MODES:
+        raise ValueError(
+            f"unknown sparsity mode {mode!r}; supported: {SPARSITY_MODES}"
+        )
+    return mode
+
+
+@dataclass(frozen=True)
+class SparsityProfile:
+    """Bit-level structure of one ``(m, d)`` received stack.
+
+    Attributes
+    ----------
+    row_group_ids:
+        ``(m,)`` int64 — for every row, the index of the first row with
+        byte-identical contents (a row with no duplicate maps to
+        itself).
+    num_unique_rows:
+        Number of distinct row groups.
+    nonzero_columns:
+        ``(d,)`` bool mask — true where the column holds anything other
+        than all-``+0.0`` bit patterns.
+    num_zero_columns:
+        Count of elidable (all-``+0.0``) columns.
+    """
+
+    row_group_ids: np.ndarray
+    num_unique_rows: int
+    nonzero_columns: np.ndarray
+    num_zero_columns: int
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.row_group_ids.shape[0])
+
+    @property
+    def num_columns(self) -> int:
+        return int(self.nonzero_columns.shape[0])
+
+    @property
+    def has_duplicate_rows(self) -> bool:
+        return self.num_unique_rows < self.num_rows
+
+    @property
+    def has_zero_columns(self) -> bool:
+        return self.num_zero_columns > 0
+
+    @property
+    def zero_column_fraction(self) -> float:
+        return self.num_zero_columns / self.num_columns if self.num_columns else 0.0
+
+    def elidable(self) -> bool:
+        """Whether zero-column elision clears the benefit threshold."""
+        # Eliding *every* column would leave nothing to compute on; the
+        # degenerate all-zero stack stays on the dense path.
+        return (
+            self.zero_column_fraction >= MIN_ZERO_COLUMN_FRACTION
+            and self.num_zero_columns < self.num_columns
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SparsityProfile(rows={self.num_rows}, "
+            f"unique_rows={self.num_unique_rows}, "
+            f"zero_columns={self.num_zero_columns}/{self.num_columns})"
+        )
+
+
+def detect_structure(matrix: np.ndarray) -> SparsityProfile:
+    """Profile duplicated rows and exact-zero columns of a stack.
+
+    Both detections are bit-exact: rows compare by raw bytes and a
+    column is "zero" only when every entry is the ``+0.0`` bit pattern,
+    so a profile never claims structure that the dense kernels would
+    distinguish.
+    """
+    mat = np.asarray(matrix)
+    if mat.ndim != 2:
+        raise ValueError(f"matrix must be 2-D, got shape {mat.shape}")
+    m = mat.shape[0]
+
+    group_ids = np.empty(m, dtype=np.int64)
+    first_seen: dict = {}
+    for i in range(m):
+        key = mat[i].tobytes()
+        group_ids[i] = first_seen.setdefault(key, i)
+
+    plus_zero = (mat == 0.0) & ~np.signbit(mat)
+    nonzero_columns = ~plus_zero.all(axis=0)
+
+    return SparsityProfile(
+        row_group_ids=group_ids,
+        num_unique_rows=len(first_seen),
+        nonzero_columns=nonzero_columns,
+        num_zero_columns=int(nonzero_columns.size - np.count_nonzero(nonzero_columns)),
+    )
+
+
+def dedup_subsets(
+    indices: np.ndarray, profile: SparsityProfile
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Collapse a subset family to one representative per row pattern.
+
+    Maps every ``(S, s)`` index row through
+    :attr:`SparsityProfile.row_group_ids` and groups subsets whose
+    patterns coincide; the representative of a group is its **first**
+    subset in family order.  Returns ``(representatives, inverse)``
+    where ``representatives`` is the reduced ``(U, s)`` index matrix and
+    ``kernel(indices)[i] == kernel(representatives)[inverse[i]]``
+    bitwise — the representative gathers byte-identical points, so the
+    kernel cannot tell the difference.  Returns ``None`` when nothing
+    collapses (all patterns distinct), letting callers skip the scatter.
+    """
+    if not profile.has_duplicate_rows or indices.shape[0] <= 1:
+        return None
+    patterns = profile.row_group_ids[indices]
+    _, first, inverse = np.unique(
+        patterns, axis=0, return_index=True, return_inverse=True
+    )
+    if first.shape[0] == indices.shape[0]:
+        return None
+    return indices[first], inverse.reshape(-1)

@@ -21,18 +21,45 @@ work into a handful of BLAS-shaped array kernels instead:
 
 Every kernel takes a ``chunk_size`` knob (number of subsets per chunk)
 so peak memory stays bounded at large ``C(m, n - t)``; ``None`` picks a
-chunk from the :data:`DEFAULT_CHUNK_ELEMENTS` element budget.  See
-``docs/performance.md`` for the memory/speed trade-off and benchmark
-numbers (``benchmarks/bench_subset_kernels.py``).
+chunk from the :data:`DEFAULT_CHUNK_ELEMENTS` element budget.
+
+On top of chunking, every kernel accepts the precision/sparsity policy
+of the kernel layer:
+
+- float32 input matrices keep the gathered tensors in float32 with
+  float64 accumulation (see :mod:`repro.linalg.precision`); results are
+  always returned as float64.
+- ``sparsity="auto"`` routes structured stacks through reduced
+  computation (:mod:`repro.linalg.sparsity`): subsets whose index
+  patterns gather byte-identical point sets are computed once and
+  scattered back (exact for every dtype), and on the float32 tier
+  exact-zero columns are elided from the gathered tensors.  Column
+  elision is tolerance-safe only — dropping columns changes the
+  stride (and hence the summation order) of the reduction axis, so
+  even a mean over untouched columns can move by an ulp — which is
+  why the bitwise float64 contract keeps every column.
+- the innermost loops are supplied by the active kernel backend
+  (:mod:`repro.linalg.backends`).
+
+See ``docs/performance.md`` for the memory/speed trade-off, the
+tolerance tiers and benchmark numbers
+(``benchmarks/bench_subset_kernels.py``).
 """
 
 from __future__ import annotations
 
 from itertools import chain, combinations
 from math import comb
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
+
+from repro.linalg.sparsity import (
+    SparsityProfile,
+    dedup_subsets,
+    detect_structure,
+    resolve_sparsity,
+)
 
 #: Element budget (float64 entries per intermediate tensor) used to pick
 #: an automatic chunk size.  4M elements = ~32 MiB per temporary.
@@ -100,11 +127,46 @@ def resolve_chunk_size(
     return max(1, min(total if total else 1, DEFAULT_CHUNK_ELEMENTS // per))
 
 
+def _as_float_matrix(matrix: np.ndarray, name: str) -> np.ndarray:
+    """2-D float view of ``matrix`` — no copy when already float32/64.
+
+    float32 and float64 storage pass through untouched (the precision
+    tiers); any other dtype is promoted to float64, matching the
+    historical behaviour for integer/list inputs.
+    """
+    mat = np.asarray(matrix)
+    if mat.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {mat.shape}")
+    if mat.dtype not in (np.float32, np.float64):
+        mat = mat.astype(np.float64)
+    return mat
+
+
+def _resolve_profile(
+    mode: str, profile: Optional[SparsityProfile], matrix: Optional[np.ndarray]
+) -> Optional[SparsityProfile]:
+    """The structure profile to route with, detecting it when needed.
+
+    ``matrix`` is ``None`` for kernels that never see the row stack
+    (the diameter gather); those only exploit structure when the caller
+    supplies a profile of the stack behind the distance matrix.
+    """
+    if mode != "auto":
+        return None
+    if profile is not None:
+        return profile
+    if matrix is None:
+        return None
+    return detect_structure(matrix)
+
+
 def subset_diameters(
     dist: np.ndarray,
     indices: np.ndarray,
     *,
     chunk_size: Optional[int] = None,
+    sparsity: str = "off",
+    profile: Optional[SparsityProfile] = None,
 ) -> np.ndarray:
     """Diameter of every subset, gathered from a pairwise distance matrix.
 
@@ -117,25 +179,48 @@ def subset_diameters(
         ``(S, s)`` subset index matrix.
     chunk_size:
         Subsets per chunk; bounds the ``chunk * s * s`` gather temporary.
+    sparsity, profile:
+        With ``sparsity="auto"`` and a caller-supplied
+        :class:`~repro.linalg.sparsity.SparsityProfile` of the row stack
+        behind ``dist``, subsets gathering byte-identical point sets are
+        computed once per pattern and scattered back — values stay
+        bitwise-identical (the representative runs through the same
+        gather).  Without a profile the gather has no row stack to
+        inspect and runs dense.
 
     Returns
     -------
     ``(S,)`` float64 array.  Values are bitwise-identical to
     ``dist[np.ix_(rows, rows)].max()`` per subset (``max`` is exact).
     """
-    dist = np.asarray(dist, dtype=np.float64)
+    dist = np.asarray(dist)
     if dist.ndim != 2 or dist.shape[0] != dist.shape[1]:
         raise ValueError(f"dist must be a square matrix, got shape {dist.shape}")
+    if not np.issubdtype(dist.dtype, np.floating):
+        dist = dist.astype(np.float64)
     idx = validate_subset_indices(indices, dist.shape[0])
     total, s = idx.shape
-    out = np.zeros(total, dtype=np.float64)
     if total == 0 or s <= 1:
-        return out
-    chunk = resolve_chunk_size(chunk_size, s * s, total)
-    for start in range(0, total, chunk):
+        return np.zeros(total, dtype=np.float64)
+
+    plan = None
+    prof = _resolve_profile(resolve_sparsity(sparsity), profile, None)
+    if prof is not None:
+        plan = dedup_subsets(idx, prof)
+        if plan is not None:
+            idx = plan[0]
+
+    from repro.linalg.backends import get_kernel_backend
+
+    backend = get_kernel_backend()
+    reduced_total = idx.shape[0]
+    out = np.zeros(reduced_total, dtype=np.float64)
+    chunk = resolve_chunk_size(chunk_size, s * s, reduced_total)
+    for start in range(0, reduced_total, chunk):
         rows = idx[start : start + chunk]
-        gathered = dist[rows[:, :, None], rows[:, None, :]]
-        out[start : start + chunk] = gathered.max(axis=(1, 2))
+        out[start : start + chunk] = backend.diameter_gather(dist, rows)
+    if plan is not None:
+        out = out[plan[1]]
     return out
 
 
@@ -144,27 +229,58 @@ def subset_means(
     indices: np.ndarray,
     *,
     chunk_size: Optional[int] = None,
+    sparsity: str = "off",
+    profile: Optional[SparsityProfile] = None,
 ) -> np.ndarray:
     """Mean vector of every subset, as one chunked gather + reduction.
 
     Bitwise-identical to ``matrix[list(idx)].mean(axis=0)`` per subset:
     the reduction over the subset axis accumulates rows in the same
-    order in both layouts.
+    order in both layouts.  Under ``sparsity="auto"``,
+    pattern-duplicate subsets are computed once on byte-identical
+    gathers and scattered back — still bitwise-exact, because the
+    representative runs through the identical reduction.  Exact-zero
+    columns are elided only on the float32 tier: although an elided
+    column contributes exactly ``+0.0``, dropping columns changes the
+    stride of the reduction axis and numpy's summation order with it,
+    moving the mean of the *surviving* columns by an ulp.  float32
+    matrices accumulate the mean in float64; the result is float64
+    either way.
     """
-    mat = np.asarray(matrix, dtype=np.float64)
-    if mat.ndim != 2:
-        raise ValueError(f"matrix must be 2-D, got shape {mat.shape}")
+    mat = _as_float_matrix(matrix, "matrix")
     idx = validate_subset_indices(indices, mat.shape[0])
     total, s = idx.shape
     d = mat.shape[1]
-    out = np.empty((total, d), dtype=np.float64)
     if total == 0:
-        return out
+        return np.empty((total, d), dtype=np.float64)
     if s == 0:
         raise ValueError("subset size must be at least 1 for means")
-    chunk = resolve_chunk_size(chunk_size, s * d, total)
-    for start in range(0, total, chunk):
-        out[start : start + chunk] = mat[idx[start : start + chunk]].mean(axis=1)
+
+    prof = _resolve_profile(resolve_sparsity(sparsity), profile, mat)
+    plan = None
+    columns = None
+    if prof is not None:
+        plan = dedup_subsets(idx, prof)
+        if plan is not None:
+            idx = plan[0]
+        if mat.dtype == np.float32 and prof.elidable():
+            columns = prof.nonzero_columns
+            mat = mat[:, columns]
+
+    reduced_total = idx.shape[0]
+    reduced = np.empty((reduced_total, mat.shape[1]), dtype=np.float64)
+    chunk = resolve_chunk_size(chunk_size, s * d, reduced_total)
+    for start in range(0, reduced_total, chunk):
+        gathered = mat[idx[start : start + chunk]]
+        reduced[start : start + chunk] = gathered.mean(axis=1, dtype=np.float64)
+
+    if columns is not None:
+        out = np.zeros((reduced_total, d), dtype=np.float64)
+        out[:, columns] = reduced
+    else:
+        out = reduced
+    if plan is not None:
+        out = out[plan[1]]
     return out
 
 
@@ -177,13 +293,17 @@ def subset_geometric_medians(
     eps: float = 1e-12,
     chunk_size: Optional[int] = None,
     dist: Optional[np.ndarray] = None,
+    sparsity: str = "off",
+    profile: Optional[SparsityProfile] = None,
 ) -> np.ndarray:
     """Geometric median of every subset via one batched Weiszfeld solve.
 
     Parameters
     ----------
     matrix:
-        ``(m, d)`` stack of received vectors.
+        ``(m, d)`` stack of received vectors (float64 or float32; the
+        float32 tier iterates in float32 storage with float64
+        accumulation, see :mod:`repro.linalg.precision`).
     indices:
         ``(S, s)`` subset index matrix.
     tol, max_iter, eps:
@@ -197,6 +317,14 @@ def subset_geometric_medians(
         Optional precomputed ``(m, m)`` pairwise distance matrix.  When
         given, the per-subset pairwise distances needed by the
         vertex-snap step are a free gather instead of a batched GEMM.
+        Validated once here — the per-chunk gathers skip re-validation.
+    sparsity, profile:
+        With ``sparsity="auto"``, pattern-duplicate subsets run one
+        Weiszfeld solve per pattern (exact for every dtype — the
+        representative solves on byte-identical points), and on the
+        float32 tier exact-zero columns are elided from the iteration
+        tensor (tolerance-safe only: eliding reorders the float64
+        reductions, so the bitwise float64 contract forbids it there).
 
     Returns
     -------
@@ -206,34 +334,77 @@ def subset_geometric_medians(
     """
     from repro.linalg.geometric_median import batched_geometric_median
 
-    mat = np.asarray(matrix, dtype=np.float64)
-    if mat.ndim != 2:
-        raise ValueError(f"matrix must be 2-D, got shape {mat.shape}")
+    mat = _as_float_matrix(matrix, "matrix")
     idx = validate_subset_indices(indices, mat.shape[0])
     total, s = idx.shape
     d = mat.shape[1]
-    out = np.empty((total, d), dtype=np.float64)
     if total == 0:
-        return out
+        return np.empty((total, d), dtype=np.float64)
     if s == 0:
         raise ValueError("subset size must be at least 1 for geometric medians")
     if s == 1:
-        return mat[idx[:, 0]].copy()
+        return mat[idx[:, 0]].astype(np.float64)
     if dist is not None:
-        dist = np.asarray(dist, dtype=np.float64)
+        dist = np.asarray(dist)
+        if not np.issubdtype(dist.dtype, np.floating):
+            dist = dist.astype(np.float64)
         if dist.shape != (mat.shape[0], mat.shape[0]):
             raise ValueError(
                 f"dist must have shape {(mat.shape[0], mat.shape[0])}, "
                 f"got {dist.shape}"
             )
-    chunk = resolve_chunk_size(chunk_size, s * max(s, d), total)
-    for start in range(0, total, chunk):
+
+    prof = _resolve_profile(resolve_sparsity(sparsity), profile, mat)
+    plan = None
+    columns = None
+    if prof is not None:
+        plan = dedup_subsets(idx, prof)
+        if plan is not None:
+            idx = plan[0]
+        if mat.dtype == np.float32 and prof.elidable():
+            columns = prof.nonzero_columns
+            mat = mat[:, columns]
+
+    reduced_total = idx.shape[0]
+    reduced = np.empty((reduced_total, mat.shape[1]), dtype=np.float64)
+    chunk = resolve_chunk_size(chunk_size, s * max(s, d), reduced_total)
+    for start in range(0, reduced_total, chunk):
         rows = idx[start : start + chunk]
         points = mat[rows]
         pairwise = None
         if dist is not None:
             pairwise = dist[rows[:, :, None], rows[:, None, :]]
-        out[start : start + chunk] = batched_geometric_median(
-            points, tol=tol, max_iter=max_iter, eps=eps, pairwise=pairwise
+        reduced[start : start + chunk] = batched_geometric_median(
+            points,
+            tol=tol,
+            max_iter=max_iter,
+            eps=eps,
+            pairwise=pairwise,
+            validate_pairwise=False,
         )
+
+    if columns is not None:
+        out = np.zeros((reduced_total, d), dtype=np.float64)
+        out[:, columns] = reduced
+    else:
+        out = reduced
+    if plan is not None:
+        out = out[plan[1]]
     return out
+
+
+# Re-exported for callers that want to pre-compute or inspect structure.
+__all__ = [
+    "DEFAULT_CHUNK_ELEMENTS",
+    "SparsityProfile",
+    "dedup_subsets",
+    "detect_structure",
+    "resolve_chunk_size",
+    "resolve_sparsity",
+    "subset_diameters",
+    "subset_geometric_medians",
+    "subset_index_matrix",
+    "subset_means",
+    "subsets_as_matrix",
+    "validate_subset_indices",
+]

@@ -1,0 +1,215 @@
+"""Kernel-backend registry, selection, and cross-backend equivalence.
+
+The backend layer (:mod:`repro.linalg.backends`) isolates the two hot
+subset-kernel loops behind a strategy interface.  These tests pin the
+registry contract — env-var selection, numpy fallback when numba is
+missing, context-manager scoping — and check that every available
+backend reproduces the numpy reference within its documented tier
+(bitwise for diameter gathers, float32-style tolerance for the
+Weiszfeld loop).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.linalg.backends import (
+    BACKEND_ENV_VAR,
+    BACKEND_NAMES,
+    KernelBackend,
+    NumpyKernelBackend,
+    available_kernel_backends,
+    get_kernel_backend,
+    make_kernel_backend,
+    numba_available,
+    set_kernel_backend,
+    use_kernel_backend,
+)
+from repro.linalg.distances import pairwise_distances
+from repro.linalg.geometric_median import batched_geometric_median, geometric_median
+from repro.linalg.precision import tolerance_tier
+from repro.linalg.subset_kernels import subset_diameters, subset_index_matrix
+
+
+@pytest.fixture(autouse=True)
+def _reset_backend():
+    """Every test starts and ends with no memoised backend.
+
+    The memo is cleared directly (not via ``set_kernel_backend(None)``,
+    which eagerly re-resolves) so a test that monkeypatches the env var
+    to an invalid name does not explode during teardown.
+    """
+    import repro.linalg.backends as backends_module
+
+    backends_module._active_backend = None
+    yield
+    backends_module._active_backend = None
+
+
+def _problem(num_sets=12, s=5, d=7, seed=3):
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(size=(num_sets, s, d))
+    w = np.ones((num_sets, s), dtype=np.float64)
+    start = pts.mean(axis=1)
+    return pts, w, start
+
+
+# -- registry -----------------------------------------------------------------
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert "numpy" in available_kernel_backends()
+        assert set(available_kernel_backends()) <= set(BACKEND_NAMES)
+
+    def test_make_numpy(self):
+        backend = make_kernel_backend("numpy")
+        assert isinstance(backend, NumpyKernelBackend)
+        assert backend.name == "numpy"
+        assert backend.exact and not backend.compiled
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            make_kernel_backend("cublas")
+
+    def test_name_normalised(self):
+        assert make_kernel_backend("  NumPy ").name == "numpy"
+
+    @pytest.mark.skipif(numba_available(), reason="numba installed: no fallback")
+    def test_numba_falls_back_to_numpy_when_missing(self, caplog):
+        with caplog.at_level("WARNING"):
+            backend = make_kernel_backend("numba")
+        assert isinstance(backend, NumpyKernelBackend)
+        assert any("falling back" in record.message for record in caplog.records)
+
+    @pytest.mark.skipif(not numba_available(), reason="needs numba")
+    def test_numba_backend_constructs(self):
+        backend = make_kernel_backend("numba")
+        assert backend.name == "numba"
+        assert backend.compiled and not backend.exact
+
+
+# -- selection ----------------------------------------------------------------
+class TestSelection:
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert get_kernel_backend().name == "numpy"
+
+    def test_env_unset_defaults_to_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert get_kernel_backend().name == "numpy"
+
+    def test_env_bad_name_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "fortran")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_kernel_backend()
+
+    def test_get_memoises_instance(self):
+        assert get_kernel_backend() is get_kernel_backend()
+
+    def test_set_by_name_and_instance(self):
+        by_name = set_kernel_backend("numpy")
+        assert get_kernel_backend() is by_name
+        instance = NumpyKernelBackend()
+        assert set_kernel_backend(instance) is instance
+        assert get_kernel_backend() is instance
+
+    def test_set_rejects_non_backend(self):
+        with pytest.raises(TypeError):
+            set_kernel_backend(42)  # type: ignore[arg-type]
+
+    def test_context_manager_restores_previous(self):
+        outer = set_kernel_backend("numpy")
+        inner = NumpyKernelBackend()
+        with use_kernel_backend(inner) as active:
+            assert active is inner
+            assert get_kernel_backend() is inner
+        assert get_kernel_backend() is outer
+
+    def test_context_manager_restores_on_error(self):
+        outer = set_kernel_backend("numpy")
+        with pytest.raises(RuntimeError):
+            with use_kernel_backend(NumpyKernelBackend()):
+                raise RuntimeError("boom")
+        assert get_kernel_backend() is outer
+
+
+# -- numpy reference semantics ------------------------------------------------
+class TestNumpyReference:
+    def test_diameter_gather_matches_naive(self):
+        rng = np.random.default_rng(0)
+        mat = rng.normal(size=(9, 6))
+        dist = pairwise_distances(mat)
+        indices = subset_index_matrix(9, 4)
+        got = NumpyKernelBackend().diameter_gather(dist, indices)
+        naive = np.array([dist[np.ix_(rows, rows)].max() for rows in indices])
+        assert np.array_equal(got, naive)
+
+    def test_weiszfeld_loop_matches_scalar_solver(self):
+        # The raw loop has no vertex-snap, so a set whose median sits
+        # near a vertex may oscillate below tol without "converging" —
+        # identical to the historical behaviour; the caller snaps it.
+        # What the backend must guarantee is agreement with the scalar
+        # solver run under the same settings.
+        pts, w, start = _problem()
+        points, iterations, converged = NumpyKernelBackend().weiszfeld_loop(
+            pts, w, start.copy(), tol=1e-8, max_iter=500, eps=1e-12
+        )
+        assert converged.sum() >= pts.shape[0] - 1
+        assert (iterations >= 1).all()
+        for a in range(pts.shape[0]):
+            scalar = geometric_median(pts[a], tol=1e-8, max_iter=500)
+            assert np.allclose(points[a], scalar, atol=1e-6)
+
+    def test_float32_storage_returns_float64(self):
+        pts, w, start = _problem()
+        points, _, converged = NumpyKernelBackend().weiszfeld_loop(
+            pts.astype(np.float32), w, start.copy(), tol=1e-6, max_iter=500,
+            eps=1e-12,
+        )
+        assert points.dtype == np.float64
+        assert converged.all()
+        ref, _, _ = NumpyKernelBackend().weiszfeld_loop(
+            pts, w, start.copy(), tol=1e-6, max_iter=500, eps=1e-12
+        )
+        assert tolerance_tier("float32").check(ref, points)
+
+
+# -- cross-backend equivalence ------------------------------------------------
+@pytest.mark.parametrize("name", available_kernel_backends())
+class TestBackendEquivalence:
+    def test_diameter_gather_bitwise(self, name):
+        backend = make_kernel_backend(name)
+        rng = np.random.default_rng(1)
+        mat = rng.normal(size=(10, 5))
+        dist = pairwise_distances(mat)
+        indices = subset_index_matrix(10, 6)
+        ref = NumpyKernelBackend().diameter_gather(dist, indices)
+        got = backend.diameter_gather(dist, indices)
+        # max over the same values commutes: exact for every backend.
+        assert np.array_equal(got, ref)
+
+    def test_weiszfeld_loop_within_tier(self, name):
+        backend = make_kernel_backend(name)
+        pts, w, start = _problem(num_sets=8, s=6, d=5, seed=11)
+        ref, _, ref_conv = NumpyKernelBackend().weiszfeld_loop(
+            pts, w, start.copy(), tol=1e-9, max_iter=300, eps=1e-12
+        )
+        got, _, got_conv = backend.weiszfeld_loop(
+            pts, w, start.copy(), tol=1e-9, max_iter=300, eps=1e-12
+        )
+        assert got_conv.all() and ref_conv.all()
+        tier = tolerance_tier("float64" if backend.exact else "float32")
+        assert tier.check(ref, got)
+
+    def test_batched_geometric_median_through_backend(self, name):
+        pts, _, _ = _problem(num_sets=6, s=5, d=4, seed=2)
+        reference = batched_geometric_median(pts, tol=1e-9, max_iter=300)
+        with use_kernel_backend(name):
+            result = batched_geometric_median(pts, tol=1e-9, max_iter=300)
+        tier_name = "float64" if make_kernel_backend(name).exact else "float32"
+        assert tolerance_tier(tier_name).check(reference, result)
+
+
+def test_backend_is_abstract():
+    with pytest.raises(TypeError):
+        KernelBackend()  # type: ignore[abstract]

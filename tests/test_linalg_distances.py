@@ -4,11 +4,13 @@ import numpy as np
 import pytest
 
 from repro.linalg.distances import (
+    PAIRWISE_DEBUG_ENV,
     diameter,
     distances_to,
     max_coordinate_spread,
     pairwise_distances,
     pairwise_sq_distances,
+    resolve_pairwise_matrix,
 )
 
 
@@ -41,6 +43,65 @@ class TestPairwiseDistances:
         dist = pairwise_distances(np.array([[1.0, 2.0]]))
         assert dist.shape == (1, 1)
         assert dist[0, 0] == 0.0
+
+
+class TestResolvePairwiseMatrix:
+    def _cloud(self, m=5, d=3, seed=0):
+        return np.random.default_rng(seed).normal(size=(m, d))
+
+    def test_computes_when_absent(self):
+        mat = self._cloud()
+        assert np.array_equal(
+            resolve_pairwise_matrix(mat, None), pairwise_distances(mat)
+        )
+        assert np.array_equal(
+            resolve_pairwise_matrix(mat, None, squared=True),
+            pairwise_sq_distances(mat),
+        )
+
+    def test_passes_valid_matrix_through(self):
+        mat = self._cloud()
+        dist = pairwise_distances(mat)
+        assert resolve_pairwise_matrix(mat, dist) is dist
+
+    def test_rejects_wrong_shape(self):
+        mat = self._cloud(m=5)
+        with pytest.raises(ValueError, match=r"shape \(5, 5\)"):
+            resolve_pairwise_matrix(mat, np.zeros((4, 4)))
+
+    def test_rejects_non_floating_dtype_naming_kind(self):
+        mat = self._cloud(m=3)
+        bad = np.zeros((3, 3), dtype=np.int64)
+        with pytest.raises(ValueError, match="floating-point Euclidean"):
+            resolve_pairwise_matrix(mat, bad)
+        with pytest.raises(ValueError, match="floating-point squared Euclidean"):
+            resolve_pairwise_matrix(mat, bad, squared=True)
+
+    def test_finite_check_off_by_default(self, monkeypatch):
+        monkeypatch.delenv(PAIRWISE_DEBUG_ENV, raising=False)
+        mat = self._cloud(m=3)
+        bad = np.full((3, 3), np.nan)
+        # Production default: trusted caches, no O(m^2) sweep.
+        assert resolve_pairwise_matrix(mat, bad) is bad
+
+    def test_finite_check_env_toggle(self, monkeypatch):
+        monkeypatch.setenv(PAIRWISE_DEBUG_ENV, "1")
+        mat = self._cloud(m=3)
+        bad = np.full((3, 3), np.inf)
+        with pytest.raises(ValueError, match="non-finite.*Euclidean"):
+            resolve_pairwise_matrix(mat, bad)
+        # "0" and empty disable the sweep again.
+        monkeypatch.setenv(PAIRWISE_DEBUG_ENV, "0")
+        assert resolve_pairwise_matrix(mat, bad) is bad
+
+    def test_finite_check_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.delenv(PAIRWISE_DEBUG_ENV, raising=False)
+        mat = self._cloud(m=3)
+        bad = np.full((3, 3), np.nan)
+        with pytest.raises(ValueError, match="non-finite.*squared Euclidean"):
+            resolve_pairwise_matrix(mat, bad, squared=True, check_finite=True)
+        good = pairwise_distances(mat)
+        assert resolve_pairwise_matrix(mat, good, check_finite=True) is good
 
 
 class TestDiameter:

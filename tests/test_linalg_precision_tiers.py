@@ -1,0 +1,394 @@
+"""Precision-tier and sparsity-fast-path equivalence contracts.
+
+The kernel layer promises a tiered equivalence contract
+(:mod:`repro.linalg.precision`):
+
+- ``float64`` (default) — **bitwise** identical to the historical dense
+  kernels, with or without sparsity routing;
+- ``float32`` — float32 storage with float64 accumulation, within the
+  documented ``rtol=atol=1e-3`` tier of the float64 reference.
+
+And the sparsity layer (:mod:`repro.linalg.sparsity`) promises that on
+structured update stacks — byte-identical duplicated rows (coordinated
+sign-flip cliques), exact ``+0.0`` columns (inactive layers, partition
+attacks) — the reduced-computation routes are *exactly* equivalent to
+the dense paths wherever they engage for float64.
+
+Both contracts are checked here across every registry rule and directly
+on the subset kernels, property-style over many seeded random structured
+instances (deterministic generation, reproducible by seed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.aggregation.context import AggregationContext
+from repro.aggregation.registry import available_rules, make_rule
+from repro.linalg.distances import pairwise_distances, pairwise_sq_distances
+from repro.linalg.precision import (
+    DEFAULT_DTYPE,
+    SUPPORTED_DTYPES,
+    TOLERANCE_TIERS,
+    accumulation_dtype,
+    dtype_name,
+    resolve_dtype,
+    tolerance_tier,
+)
+from repro.linalg.sparsity import (
+    SparsityProfile,
+    dedup_subsets,
+    detect_structure,
+    resolve_sparsity,
+)
+from repro.linalg.subset_kernels import (
+    subset_diameters,
+    subset_geometric_medians,
+    subset_index_matrix,
+    subset_means,
+)
+
+N, T = 10, 2
+RULES = available_rules()
+
+
+def structured_stack(seed: int, *, n: int = N, t: int = T, d: int = 24,
+                     zero_fraction: float = 0.5) -> np.ndarray:
+    """Honest cluster + byte-identical sign-flip clique + zero columns."""
+    rng = np.random.default_rng(seed)
+    active = max(1, int(round(d * (1.0 - zero_fraction))))
+    mat = np.zeros((n, d), dtype=np.float64)
+    mat[: n - t, :active] = rng.normal(0.0, 1.0, size=(n - t, active))
+    mat[n - t:, :active] = np.tile(-4.0 * mat[:1, :active], (t, 1))
+    return mat
+
+
+# -- precision module ---------------------------------------------------------
+class TestPrecisionModule:
+    def test_supported_and_default(self):
+        assert DEFAULT_DTYPE == "float64"
+        assert set(SUPPORTED_DTYPES) == {"float64", "float32"}
+        assert set(TOLERANCE_TIERS) == set(SUPPORTED_DTYPES)
+
+    def test_resolve_dtype(self):
+        assert resolve_dtype(None) == np.dtype(np.float64)
+        assert resolve_dtype("float32") == np.dtype(np.float32)
+        assert resolve_dtype(np.float32) == np.dtype(np.float32)
+        with pytest.raises(ValueError, match="unsupported kernel dtype"):
+            resolve_dtype("float16")
+        with pytest.raises(ValueError, match="unsupported kernel dtype"):
+            resolve_dtype("int64")
+
+    def test_dtype_name(self):
+        assert dtype_name(None) == "float64"
+        assert dtype_name("float32") == "float32"
+
+    def test_accumulation_always_float64(self):
+        for name in SUPPORTED_DTYPES:
+            assert accumulation_dtype(name) == np.dtype(np.float64)
+
+    def test_float64_tier_is_bitwise(self):
+        tier = tolerance_tier("float64")
+        assert tier.bitwise
+        a = np.array([1.0, -0.0])
+        assert tier.check(a, a.copy())
+        # Even a 1-ulp difference fails the bitwise tier.
+        assert not tier.check(a, np.nextafter(a, np.inf))
+        # -0.0 vs +0.0 compares equal under array_equal (==) — the tier
+        # is about values produced by identical operations.
+        assert tier.check(np.array([0.0]), np.array([-0.0]))
+
+    def test_float32_tier_tolerances(self):
+        tier = tolerance_tier("float32")
+        assert not tier.bitwise
+        assert tier.rtol == 1e-3 and tier.atol == 1e-3
+        ref = np.array([1.0, 100.0])
+        assert tier.check(ref, ref * (1 + 5e-4))
+        assert not tier.check(ref, ref * 1.1)
+
+
+# -- sparsity module ----------------------------------------------------------
+class TestSparsityModule:
+    def test_resolve_sparsity(self):
+        assert resolve_sparsity(None) == "auto"
+        assert resolve_sparsity("off") == "off"
+        with pytest.raises(ValueError, match="unknown sparsity mode"):
+            resolve_sparsity("dense")
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_detect_structure_properties(self, seed):
+        mat = structured_stack(seed)
+        prof = detect_structure(mat)
+        assert isinstance(prof, SparsityProfile)
+        # t byzantine duplicates of each other (not of row 0: scaled).
+        assert prof.num_unique_rows == N - T + 1
+        assert prof.has_duplicate_rows
+        # row_group_ids maps each row to the first byte-identical row.
+        for i, g in enumerate(prof.row_group_ids):
+            assert mat[i].tobytes() == mat[g].tobytes()
+            assert g <= i
+        assert prof.num_zero_columns == mat.shape[1] - 12
+        assert prof.zero_column_fraction == pytest.approx(0.5)
+        assert prof.elidable()
+
+    def test_minus_zero_is_not_elidable(self):
+        mat = np.zeros((4, 8))
+        mat[:, :2] = 1.0
+        mat[1, 5] = -0.0  # sign bit set: column 5 must not be elided
+        prof = detect_structure(mat)
+        assert not prof.nonzero_columns[6]  # ordinary zero column
+        assert prof.nonzero_columns[5]  # -0.0 keeps the column
+        assert prof.num_zero_columns == 5
+
+    def test_dense_matrix_has_no_structure(self):
+        rng = np.random.default_rng(0)
+        prof = detect_structure(rng.normal(size=(6, 9)))
+        assert not prof.has_duplicate_rows
+        assert not prof.has_zero_columns
+        assert not prof.elidable()
+        indices = subset_index_matrix(6, 4)
+        assert dedup_subsets(indices, prof) is None
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dedup_subsets_cover_and_scatter(self, seed):
+        mat = structured_stack(seed)
+        prof = detect_structure(mat)
+        indices = subset_index_matrix(N, N - T)
+        plan = dedup_subsets(indices, prof)
+        assert plan is not None
+        reps, inverse = plan
+        assert reps.shape[1] == indices.shape[1]
+        assert inverse.shape == (indices.shape[0],)
+        assert reps.shape[0] < indices.shape[0]
+        # Scattering representative rows reproduces each subset's
+        # pattern: gathered matrices are byte-identical.
+        for i in range(indices.shape[0]):
+            a = mat[indices[i]]
+            b = mat[reps[inverse[i]]]
+            assert a.tobytes() == b.tobytes()
+
+
+# -- kernel-level equivalence -------------------------------------------------
+@pytest.mark.parametrize("seed", range(4))
+class TestKernelSparsityEquivalence:
+    """sparsity='auto' must equal sparsity='off' exactly on float64."""
+
+    def test_pairwise_float32_structured(self, seed):
+        mat32 = structured_stack(seed).astype(np.float32)
+        prof = detect_structure(mat32)
+        dense = pairwise_sq_distances(mat32, sparsity="off")
+        routed = pairwise_sq_distances(mat32, profile=prof, sparsity="auto")
+        assert routed.dtype == np.float64
+        assert tolerance_tier("float32").check(dense, routed)
+        # Duplicate-row pairs must come out exactly zero.
+        byz = range(N - T, N)
+        for i in byz:
+            for j in byz:
+                assert routed[i, j] == 0.0
+
+    def test_subset_kernels_float64_bitwise(self, seed):
+        mat = structured_stack(seed)
+        prof = detect_structure(mat)
+        indices = subset_index_matrix(N, N - T)
+        dist = pairwise_distances(mat)
+        for kernel, args in (
+            (subset_diameters, (dist, indices)),
+            (subset_means, (mat, indices)),
+        ):
+            dense = kernel(*args, sparsity="off")
+            routed = kernel(*args, sparsity="auto", profile=prof)
+            assert np.array_equal(dense, routed), kernel.__name__
+
+        dense_med = subset_geometric_medians(mat, indices, dist=dist, sparsity="off")
+        routed_med = subset_geometric_medians(
+            mat, indices, dist=dist, sparsity="auto", profile=prof
+        )
+        assert np.array_equal(dense_med, routed_med)
+
+    def test_subset_kernels_float32_within_tier(self, seed):
+        mat = structured_stack(seed)
+        mat32 = mat.astype(np.float32)
+        prof32 = detect_structure(mat32)
+        indices = subset_index_matrix(N, N - T)
+        dist = pairwise_distances(mat)
+        dist32 = pairwise_distances(mat32, profile=prof32, sparsity="auto")
+        tier = tolerance_tier("float32")
+
+        ref_means = subset_means(mat, indices)
+        fast_means = subset_means(mat32, indices, sparsity="auto", profile=prof32)
+        assert fast_means.dtype == np.float64
+        assert tier.check(ref_means, fast_means)
+
+        ref_diam = subset_diameters(dist, indices)
+        fast_diam = subset_diameters(dist32, indices, sparsity="auto", profile=prof32)
+        assert tier.check(ref_diam, fast_diam)
+
+        ref_med = subset_geometric_medians(mat, indices, dist=dist)
+        fast_med = subset_geometric_medians(
+            mat32, indices, dist=dist32, sparsity="auto", profile=prof32
+        )
+        assert fast_med.dtype == np.float64
+        assert tier.check(ref_med, fast_med)
+
+
+# -- rule-level equivalence across the whole registry -------------------------
+@pytest.mark.parametrize("rule_name", RULES)
+class TestRulePrecisionTiers:
+    def _stacks(self):
+        return [structured_stack(seed) for seed in range(3)] + [
+            np.random.default_rng(9).normal(size=(N, 16))  # dense, unstructured
+        ]
+
+    def test_float64_sparsity_bitwise(self, rule_name):
+        for stack in self._stacks():
+            ref = make_rule(rule_name, n=N, t=T).aggregate(
+                context=AggregationContext(stack, sparsity="off")
+            )
+            routed = make_rule(rule_name, n=N, t=T).aggregate(
+                context=AggregationContext(stack, sparsity="auto")
+            )
+            assert np.array_equal(ref, routed), rule_name
+
+    def test_float32_within_tier(self, rule_name):
+        tier = tolerance_tier("float32")
+        for stack in self._stacks():
+            ref = make_rule(rule_name, n=N, t=T).aggregate(
+                context=AggregationContext(stack)
+            )
+            fast = make_rule(rule_name, n=N, t=T).aggregate(
+                context=AggregationContext(stack, dtype="float32")
+            )
+            assert fast.dtype == np.float64, rule_name
+            assert tier.check(ref, fast), rule_name
+
+
+# -- context and config plumbing ----------------------------------------------
+class TestDtypePlumbing:
+    def test_context_stores_requested_dtype(self):
+        stack = structured_stack(0)
+        ctx = AggregationContext(stack, dtype="float32")
+        assert ctx.matrix.dtype == np.float32
+        assert ctx.dtype_name == "float32"
+        assert ctx.sq_distances.dtype == np.float64
+        assert ctx.subset_means(N - T).dtype == np.float64
+
+    def test_context_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError, match="unsupported kernel dtype"):
+            AggregationContext(structured_stack(0), dtype="float16")
+
+    def test_context_profile_off(self):
+        ctx = AggregationContext(structured_stack(0), sparsity="off")
+        assert ctx.profile is None
+
+    def test_experiment_config_dtype_validated(self):
+        from repro.learning.experiment import ExperimentConfig
+
+        config = ExperimentConfig(dtype="float32")
+        assert config.dtype == "float32"
+        with pytest.raises(ValueError, match="unknown dtype"):
+            ExperimentConfig(dtype="bfloat16")
+
+    def test_dtype_is_a_sweep_axis(self):
+        from repro.learning.experiment import ExperimentConfig
+        from repro.sweep.grid import ScenarioGrid
+
+        grid = ScenarioGrid(
+            base=ExperimentConfig(num_clients=4, num_byzantine=1,
+                                  aggregation="mean", num_samples=120,
+                                  rounds=2, batch_size=8),
+            axes={"dtype": ["float64", "float32"]},
+        )
+        cells = list(grid.cells())
+        assert [c.config.dtype for c in cells] == ["float64", "float32"]
+        assert {c.cell_id for c in cells} == {"dtype=float64", "dtype=float32"}
+
+    @pytest.mark.parametrize("algo_name", ("box-geom", "md-mean", "mean",
+                                           "safe-area"))
+    def test_make_algorithm_accepts_dtype(self, algo_name):
+        from repro.agreement.registry import make_algorithm
+
+        algorithm = make_algorithm(algo_name, 7, 1, dtype="float32")
+        assert algorithm.dtype_name == "float32"
+
+    def test_agreement_update_uses_tier(self):
+        from repro.agreement.registry import make_algorithm
+
+        rng = np.random.default_rng(5)
+        received = rng.normal(size=(7, 6))
+        ref = make_algorithm("box-geom", 7, 1).update(received)
+        fast = make_algorithm("box-geom", 7, 1, dtype="float32").update(received)
+        assert fast.dtype == np.float64
+        assert tolerance_tier("float32").check(ref, fast)
+
+
+# -- hypothesis properties ----------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@st.composite
+def attack_stacks(draw):
+    """Random structured stacks shaped like real attack rounds.
+
+    Byzantine rows are byte-identical duplicates (coordinated clique) of
+    a scaled honest row; a random suffix of columns is exactly +0.0
+    (inactive coordinates shared by every client).
+    """
+    n = draw(st.integers(min_value=6, max_value=10))
+    t = draw(st.integers(min_value=1, max_value=(n - 1) // 3))
+    d = draw(st.integers(min_value=4, max_value=24))
+    active = draw(st.integers(min_value=1, max_value=d))
+    scale = draw(st.floats(min_value=-8.0, max_value=8.0,
+                           allow_nan=False, allow_infinity=False))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    mat = np.zeros((n, d), dtype=np.float64)
+    mat[: n - t, :active] = rng.normal(0.0, 1.0, size=(n - t, active))
+    mat[n - t:, :active] = np.tile(scale * mat[:1, :active], (t, 1))
+    return mat, n, t
+
+
+@given(attack_stacks())
+@settings(max_examples=40, deadline=None)
+def test_property_sparsity_routing_is_exact_on_float64(case):
+    """sparsity='auto' ≡ sparsity='off' bitwise for every f64 kernel."""
+    mat, n, t = case
+    prof = detect_structure(mat)
+    indices = subset_index_matrix(n, n - t)
+    dist = pairwise_distances(mat)
+    assert np.array_equal(
+        subset_means(mat, indices, sparsity="off"),
+        subset_means(mat, indices, sparsity="auto", profile=prof),
+    )
+    assert np.array_equal(
+        subset_diameters(dist, indices, sparsity="off"),
+        subset_diameters(dist, indices, sparsity="auto", profile=prof),
+    )
+    assert np.array_equal(
+        subset_geometric_medians(mat, indices, dist=dist, sparsity="off"),
+        subset_geometric_medians(
+            mat, indices, dist=dist, sparsity="auto", profile=prof
+        ),
+    )
+
+
+@given(attack_stacks())
+@settings(max_examples=25, deadline=None)
+def test_property_float32_fast_path_stays_in_tier(case):
+    """f32 + sparsity routing stays within the float32 tier of dense f64."""
+    mat, n, t = case
+    mat32 = mat.astype(np.float32)
+    prof32 = detect_structure(mat32)
+    indices = subset_index_matrix(n, n - t)
+    dist = pairwise_distances(mat)
+    dist32 = pairwise_distances(mat32, profile=prof32, sparsity="auto")
+    tier = tolerance_tier("float32")
+    assert tier.check(
+        subset_means(mat, indices),
+        subset_means(mat32, indices, sparsity="auto", profile=prof32),
+    )
+    assert tier.check(
+        subset_diameters(dist, indices),
+        subset_diameters(dist32, indices, sparsity="auto", profile=prof32),
+    )

@@ -141,8 +141,11 @@ class TestBackendConstruction:
 
 
 class TestByteIdentityAgainstPinnedFixture:
-    """The refactored backends must reproduce the pre-backend runner's
-    JSONL stream exactly (fixture generated at the old code revision)."""
+    """Every backend must reproduce the pinned serial JSONL stream
+    exactly.  The fixture was generated at the pre-backend code revision
+    and regenerated once when ``ExperimentConfig`` grew the ``dtype``
+    field (the only delta: ``"dtype": "float64"`` in each row's config;
+    all results byte-identical)."""
 
     @pytest.mark.slow
     def test_serial_backend_matches_fixture(self, tmp_path):
