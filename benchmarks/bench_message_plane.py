@@ -1,0 +1,304 @@
+"""MESSAGE-PLANE — object vs batch delivery throughput along the node axis.
+
+Not a figure of the paper; the scaling benchmark for the array-backed
+batch message plane (:mod:`repro.network.batch`).  It drives the same
+mean-update exchange through every scheduler on both delivery planes —
+the legacy per-``Message``-object plane and the vectorized batch plane —
+over n in {64, 256, 1024, 4096}, and reports rounds/sec plus the
+batch/object speedup per (scheduler, n) pair.
+
+The object plane materialises n^2 message objects per round, so it is
+measured only up to n=1024; n=4096 runs on the batch plane alone (the
+point of the refactor: the node axis scales past where per-object
+delivery is usable at all).
+
+Running it writes a ``BENCH_message_plane.json`` artifact:
+
+    PYTHONPATH=src python benchmarks/bench_message_plane.py
+
+``--smoke`` runs the single CI gate — lossy delivery at n=1024, d=256 on
+both planes — and asserts the batch plane is at least 5x faster:
+
+    PYTHONPATH=src python benchmarks/bench_message_plane.py --smoke
+
+or through pytest:
+
+    pytest benchmarks/bench_message_plane.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+try:
+    from _harness import build_info, print_report
+except ImportError:  # pragma: no cover - direct script execution
+    sys.path.insert(0, __file__.rsplit("/", 1)[0])
+    from _harness import build_info, print_report
+
+from repro.engine import make_scheduler
+from repro.network.delivery import EmptyInboxError, full_broadcast_plan
+
+#: Scheduler configurations benchmarked on both planes.
+SCHEDULER_CASES = [
+    {"scheduler": "synchronous", "kwargs": {}},
+    {"scheduler": "partial", "kwargs": {"delay": 2}},
+    {"scheduler": "lossy", "kwargs": {"drop_rate": 0.1,
+                                      "crash_schedule": ((1, 2, 5),)}},
+    {"scheduler": "asynchronous", "kwargs": {"wait_timeout": 2.0,
+                                             "burstiness": 0.2}},
+]
+
+#: (n, rounds) grid of the full run; d is fixed at the CI gate's 256.
+SIZE_GRID = [(64, 30), (256, 10), (1024, 3), (4096, 2)]
+DIMENSION = 256
+
+#: The object plane builds n^2 Message objects per round — beyond this it
+#: is not usefully measurable (that is what the batch plane replaces).
+OBJECT_PLANE_MAX_N = 1024
+
+#: The partial scheduler's delay draws and the asynchronous scheduler's
+#: bitwise-pinned lag transform are per-link scalar work even on the
+#: batch plane, so their n=4096 cell would dominate the suite's runtime;
+#: the n=4096 completion gate runs on synchronous + lossy.
+SCALAR_RNG_MAX_N = {"partial": 1024, "asynchronous": 1024}
+
+#: CI smoke gate: batch must beat object by at least this factor here.
+SMOKE_N, SMOKE_D, SMOKE_ROUNDS, SMOKE_MIN_SPEEDUP = 1024, 256, 3, 5.0
+
+
+def _case_label(case: Dict[str, object]) -> str:
+    knobs = ",".join(f"{k}={v}" for k, v in sorted(case["kwargs"].items()))
+    return case["scheduler"] + (f"({knobs})" if knobs else "")
+
+
+def measure_case(
+    scheduler: str,
+    kwargs: Dict[str, object],
+    *,
+    n: int,
+    d: int,
+    rounds: int,
+    plane: str,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Time ``rounds`` delivery rounds on one plane.
+
+    The timed loop is the message plane itself: every node broadcasts,
+    the scheduler delivers, and every receiver materialises its
+    consumption-ready ``(m, d)`` matrix — per-message payload stacking on
+    the object plane, one vectorized gather on the batch plane.  No
+    aggregation runs inside the loop (that cost is plane-independent and
+    would only dilute the comparison).
+    """
+    engine = make_scheduler(
+        scheduler, n, seed=seed, keep_history=False, message_plane=plane, **kwargs
+    )
+    engine.require_quorum(1, policy="starve")
+    if scheduler == "asynchronous":
+        # Event-driven delivery needs an explicit wait condition; a 2/3
+        # target keeps every node waiting on real arrivals.
+        engine.wait_for(count=max(1, (2 * n) // 3))
+    rng = np.random.default_rng(seed)
+    plans = [full_broadcast_plan(i, rng.normal(size=d)) for i in range(n)]
+
+    delivered_rows = 0
+    start = time.perf_counter()
+    for round_index in range(rounds):
+        result = engine.submit(plans, round_index)
+        for node in range(n):
+            try:
+                matrix = result.received_matrix(node)
+            except EmptyInboxError:
+                continue  # crashed / starved receiver this round
+            delivered_rows += matrix.shape[0]
+    seconds = time.perf_counter() - start
+
+    assert delivered_rows > 0, "no node materialised any delivery"
+    return {
+        "scheduler": scheduler,
+        "kwargs": {k: list(map(list, v)) if k == "crash_schedule" else v
+                   for k, v in kwargs.items()},
+        "label": _case_label({"scheduler": scheduler, "kwargs": kwargs}),
+        "plane": plane,
+        "n": n,
+        "d": d,
+        "rounds": rounds,
+        "seconds": seconds,
+        "rounds_per_sec": rounds / seconds if seconds > 0 else float("inf"),
+        "stats": engine.stats_snapshot(),
+    }
+
+
+def attach_speedups(rows: List[Dict[str, object]]) -> None:
+    """Annotate every batch row with its speedup over the paired object row."""
+    object_times = {
+        (row["label"], row["n"]): row["seconds"] / row["rounds"]
+        for row in rows
+        if row["plane"] == "object"
+    }
+    for row in rows:
+        if row["plane"] != "batch":
+            continue
+        base = object_times.get((row["label"], row["n"]))
+        if base is not None and row["seconds"] > 0:
+            row["speedup_vs_object"] = base / (row["seconds"] / row["rounds"])
+
+
+def run_trajectory(smoke: bool = False) -> Dict[str, object]:
+    """Measure every scheduler x plane over the node-axis grid."""
+    # Warm up BLAS / allocator before timing anything.
+    measure_case("synchronous", {}, n=4, d=8, rounds=10, plane="batch")
+    rows: List[Dict[str, object]] = []
+    skipped: List[str] = []
+    if smoke:
+        case = SCHEDULER_CASES[2]  # lossy: the CI gate's configuration
+        for plane in ("object", "batch"):
+            rows.append(
+                measure_case(
+                    case["scheduler"], dict(case["kwargs"]),
+                    n=SMOKE_N, d=SMOKE_D, rounds=SMOKE_ROUNDS, plane=plane,
+                )
+            )
+    else:
+        for n, rounds in SIZE_GRID:
+            for case in SCHEDULER_CASES:
+                scheduler = case["scheduler"]
+                cap = SCALAR_RNG_MAX_N.get(scheduler)
+                if cap is not None and n > cap:
+                    skipped.append(
+                        f"{_case_label(case)} capped at n={cap} "
+                        f"(per-link scalar RNG work; n={n} skipped)"
+                    )
+                    continue
+                for plane in ("object", "batch"):
+                    if plane == "object" and n > OBJECT_PLANE_MAX_N:
+                        skipped.append(
+                            f"{_case_label(case)} object plane capped at "
+                            f"n={OBJECT_PLANE_MAX_N} (n^2 Message objects; "
+                            f"n={n} skipped)"
+                        )
+                        continue
+                    rows.append(
+                        measure_case(
+                            scheduler, dict(case["kwargs"]),
+                            n=n, d=DIMENSION, rounds=rounds, plane=plane,
+                        )
+                    )
+    attach_speedups(rows)
+    return {
+        "benchmark": "message_plane",
+        "created_unix": time.time(),
+        "build": build_info(),
+        "smoke": smoke,
+        "skipped": skipped,
+        "cases": rows,
+    }
+
+
+def render_report(payload: Dict[str, object]) -> str:
+    lines = [
+        f"{'scheduler':<44} {'plane':>6} {'n':>5} {'rounds':>6} "
+        f"{'rounds/s':>9} {'speedup':>8} {'delivered':>10}"
+    ]
+    for row in payload["cases"]:
+        speedup = row.get("speedup_vs_object")
+        lines.append(
+            f"{row['label']:<44} {row['plane']:>6} {row['n']:>5} {row['rounds']:>6} "
+            f"{row['rounds_per_sec']:>9.2f} "
+            f"{(f'{speedup:.1f}x' if speedup is not None else '-'):>8} "
+            f"{row['stats']['delivered']:>10}"
+        )
+    for note in payload.get("skipped", []):
+        lines.append(f"  [capped] {note}")
+    return "\n".join(lines)
+
+
+def check_sanity(payload: Dict[str, object]) -> None:
+    """Progress, message accounting, and the coverage the ISSUE pins."""
+    for row in payload["cases"]:
+        assert row["rounds_per_sec"] > 0, f"{row['label']} made no progress"
+        stats = row["stats"]
+        assert stats["delivered"] > 0, f"{row['label']} delivered nothing"
+        accounted = stats["delivered"] + stats["dropped"] + stats["crash_omitted"]
+        assert accounted <= stats["sent"], (
+            f"{row['label']} counters do not add up: {stats}"
+        )
+    if not payload["smoke"]:
+        # The refactor's headline: an honest-node round at n=4096 must
+        # complete on the batch plane and be recorded in the artifact.
+        assert any(
+            row["n"] == 4096 and row["plane"] == "batch"
+            for row in payload["cases"]
+        ), "full run must include an n=4096 batch-plane case"
+
+
+def check_smoke_gate(payload: Dict[str, object]) -> None:
+    """CI gate: batch plane >= 5x object plane at n=1024, d=256, lossy."""
+    batch_rows = [
+        row for row in payload["cases"]
+        if row["plane"] == "batch" and row["n"] == SMOKE_N
+        and row["scheduler"] == "lossy" and "speedup_vs_object" in row
+    ]
+    assert batch_rows, "smoke run produced no paired lossy batch row"
+    speedup = batch_rows[0]["speedup_vs_object"]
+    assert speedup >= SMOKE_MIN_SPEEDUP, (
+        f"batch plane only {speedup:.2f}x over object at n={SMOKE_N}, "
+        f"d={SMOKE_D} lossy (need >= {SMOKE_MIN_SPEEDUP}x)"
+    )
+
+
+def write_artifact(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_message_plane_throughput():
+    """Pytest entry: smoke-sized gate + sanity checks + JSON artifact."""
+    payload = run_trajectory(smoke=True)
+    print_report(
+        "MESSAGE-PLANE",
+        "object vs batch delivery plane, rounds/sec",
+        render_report(payload),
+    )
+    write_artifact(payload, "BENCH_message_plane.json")
+    check_sanity(payload)
+    check_smoke_gate(payload)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI gate only: lossy n=1024 d=256 on both planes, assert >= 5x",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_message_plane.json",
+        help="path of the JSON trajectory artifact",
+    )
+    args = parser.parse_args(argv)
+    payload = run_trajectory(smoke=args.smoke)
+    print_report(
+        "MESSAGE-PLANE",
+        "object vs batch delivery plane, rounds/sec",
+        render_report(payload),
+    )
+    write_artifact(payload, args.output)
+    print(f"wrote {args.output}")
+    check_sanity(payload)
+    if args.smoke:
+        check_smoke_gate(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -117,6 +117,7 @@ class AggregationContext:
         "dtype_name",
         "sparsity",
         "_profile",
+        "_profile_provider",
         "_sq_distances",
         "_distances",
         "_subset_indices",
@@ -136,12 +137,17 @@ class AggregationContext:
         from repro.linalg.sparsity import resolve_sparsity
 
         resolved = resolve_dtype(dtype)
+        # A matrix gathered by the batch message plane arrives as a
+        # TransportMatrix carrying a profile provider; capture it before
+        # ensure_matrix validation strips the ndarray subclass.
+        provider = getattr(vectors, "_profile_provider", None)
         self.matrix = ensure_matrix(
             vectors, name="vectors", min_rows=1, dtype=resolved
         )
         self.dtype_name: str = resolved.name
         self.sparsity: str = resolve_sparsity(sparsity)
         self._profile = None
+        self._profile_provider = provider
         self._sq_distances: Optional[np.ndarray] = None
         self._distances: Optional[np.ndarray] = None
         self._subset_indices: Dict[int, np.ndarray] = {}
@@ -166,14 +172,22 @@ class AggregationContext:
         """Bit-level structure of the wrapped matrix (memoised).
 
         ``None`` when ``sparsity="off"`` — the kernels then never see a
-        profile and always run dense.
+        profile and always run dense.  When the wrapped matrix was
+        gathered by the batch message plane, the transported batch-level
+        profile is *projected* through the provider it carried instead of
+        re-detected from scratch — a bitwise-equivalent claim in every
+        precision tier (see
+        :func:`repro.linalg.sparsity.project_profile`).
         """
         if self.sparsity == "off":
             return None
         if self._profile is None:
-            from repro.linalg.sparsity import detect_structure
+            if self._profile_provider is not None:
+                self._profile = self._profile_provider(self.matrix)
+            if self._profile is None:
+                from repro.linalg.sparsity import detect_structure
 
-            self._profile = detect_structure(self.matrix)
+                self._profile = detect_structure(self.matrix)
         return self._profile
 
     @property

@@ -37,6 +37,8 @@ def histories_to_records(
             record["delivery_trace_summary"] = delivery_trace_summary(
                 history.delivery_trace
             )
+        if history.node_stats:
+            record["node_stats_summary"] = node_stats_summary(history.node_stats)
         records.append(record)
     return records
 
@@ -70,6 +72,35 @@ def delivery_trace_summary(trace: Sequence[Mapping[str, int]]) -> Dict[str, obje
         "worst_deliv": min(per_round) if per_round else float("nan"),
         "late": int(sum(int(row.get("delayed", 0) or 0) for row in trace)),
     }
+
+
+def node_stats_summary(node_stats: Mapping[str, Sequence[int]]) -> Dict[str, object]:
+    """Compact reading of per-node (receiver-attributed) delivery counters.
+
+    ``node_stats`` maps counter name to an ``(n,)`` list — the batch
+    message plane's per-node resolution of the aggregate counters.
+    Returns the number of nodes, per-counter totals (these equal the
+    aggregate ``network_stats`` by construction), and the identity and
+    delivery rate of the worst-served node — the reading that matters
+    when a crash window or biased link loss starves *one* receiver while
+    the aggregate rate still looks healthy.
+    """
+    totals = {name: int(sum(values)) for name, values in node_stats.items()}
+    nodes = max((len(values) for values in node_stats.values()), default=0)
+    summary: Dict[str, object] = {"nodes": nodes, "totals": totals}
+    sent = node_stats.get("sent")
+    delivered = node_stats.get("delivered")
+    if sent and delivered and len(sent) == len(delivered):
+        rates = [
+            (float(d) / float(s)) if s > 0 else float("nan")
+            for s, d in zip(sent, delivered)
+        ]
+        finite = [(rate, node) for node, rate in enumerate(rates) if not math.isnan(rate)]
+        if finite:
+            worst_rate, worst_node = min(finite)
+            summary["worst_node"] = int(worst_node)
+            summary["worst_node_deliv"] = float(worst_rate)
+    return summary
 
 
 def format_percent(value: object, width: int = 7) -> str:

@@ -52,6 +52,7 @@ from repro.analysis.reporting import (
     comparison_table,
     delivery_trace_summary,
     format_percent,
+    node_stats_summary,
     sweep_summary_table,
 )
 from repro.byzantine.registry import available_attacks
@@ -95,6 +96,9 @@ def _experiment_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--burstiness", type=float, default=0.0,
                         help="probability of entering the bursty delay regime per "
                              "round (scheduler=asynchronous only)")
+    parser.add_argument("--node-trace", action="store_true",
+                        help="record per-node delivery counters (batch message "
+                             "plane; non-synchronous schedulers only)")
     parser.add_argument("--save", type=str, default=None, help="write the histories to this JSON file")
 
 
@@ -122,6 +126,7 @@ def _build_config(args: argparse.Namespace, aggregation: str) -> ExperimentConfi
         wait_count=args.wait_count,
         wait_timeout=args.wait_timeout,
         burstiness=args.burstiness,
+        node_trace=getattr(args, "node_trace", False),
     )
 
 
@@ -143,6 +148,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"worst round deliv {worst}, "
             f"{trace['late']} late messages"
         )
+    if history.node_stats:
+        node = node_stats_summary(history.node_stats)
+        worst = node.get("worst_node")
+        if worst is not None:
+            rate = format_percent(node["worst_node_deliv"]).strip()
+            print(
+                f"per-node delivery: {node['nodes']} nodes, "
+                f"worst node {worst} at {rate}"
+            )
+        else:
+            print(f"per-node delivery: {node['nodes']} nodes")
     if args.save:
         path = save_histories({args.aggregation: history}, args.save)
         print(f"history written to {path}")

@@ -39,6 +39,7 @@ from repro.engine.lossy import LossyScheduler, normalise_crash_schedule
 from repro.engine.partial import PartiallySynchronousScheduler
 from repro.engine.rounds import attack_adversary_plan, run_exchange
 from repro.engine.synchronous import SynchronousScheduler
+from repro.network.batch import MESSAGE_PLANES, resolve_message_plane
 from repro.utils.rng import SeedLike
 
 #: Scheduler names accepted by :func:`make_scheduler` (and the
@@ -62,6 +63,8 @@ def make_scheduler(
     keep_history: bool = True,
     max_history: Optional[int] = None,
     require_full_broadcast: bool = True,
+    message_plane: Optional[str] = None,
+    node_trace: bool = False,
 ) -> RoundEngine:
     """Instantiate a scheduler by name.
 
@@ -75,13 +78,17 @@ def make_scheduler(
     an error — a sweep axis that silently did nothing would corrupt
     conclusions.  ``require_full_broadcast=False`` builds the engine in
     star mode (honest senders may address a single receiver — the
-    centralized trainer's client -> server exchange).
+    centralized trainer's client -> server exchange).  ``message_plane``
+    / ``node_trace`` select the delivery representation and per-node
+    trace recording (see :class:`RoundEngine`).
     """
     key = str(name).strip().lower()
     common = dict(
         keep_history=keep_history,
         max_history=max_history,
         require_full_broadcast=require_full_broadcast,
+        message_plane=message_plane,
+        node_trace=node_trace,
     )
     if key != "asynchronous" and (wait_count or wait_timeout or burstiness):
         raise ValueError(
@@ -135,6 +142,7 @@ def make_scheduler(
 __all__ = [
     "AsynchronousScheduler",
     "LossyScheduler",
+    "MESSAGE_PLANES",
     "PartiallySynchronousScheduler",
     "RoundEngine",
     "SCHEDULER_NAMES",
@@ -143,5 +151,6 @@ __all__ = [
     "attack_adversary_plan",
     "make_scheduler",
     "normalise_crash_schedule",
+    "resolve_message_plane",
     "run_exchange",
 ]

@@ -36,7 +36,10 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.engine.base import RoundEngine
+from repro.network.batch import BatchInbox, RoundBatch
 from repro.network.message import Message
 from repro.network.reliable_broadcast import BroadcastPlan
 from repro.utils.rng import SeedLike, as_generator
@@ -44,6 +47,23 @@ from repro.utils.rng import SeedLike, as_generator
 #: (arrival_time, send_round, sender, message) — the sort key order is
 #: the delivery order, which keeps executions deterministic per seed.
 _InFlight = Tuple[float, int, int, Message]
+
+
+def _empty_links() -> Tuple[np.ndarray, ...]:
+    """The batch plane's in-flight store: six parallel link arrays.
+
+    ``(arrival, send_round, sender, receiver, batch_id, row)`` — one
+    entry per undelivered link, with ``batch_id`` indexing the engine's
+    in-flight batch registry and ``row`` the link's row in that batch.
+    """
+    return (
+        np.empty(0, dtype=np.float64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=np.int64),
+    )
 
 
 class AsynchronousScheduler(RoundEngine):
@@ -90,10 +110,13 @@ class AsynchronousScheduler(RoundEngine):
         keep_history: bool = True,
         max_history: Optional[int] = None,
         require_full_broadcast: bool = True,
+        message_plane: Optional[str] = None,
+        node_trace: bool = False,
     ) -> None:
         super().__init__(
             n, byzantine, keep_history=keep_history, max_history=max_history,
             require_full_broadcast=require_full_broadcast,
+            message_plane=message_plane, node_trace=node_trace,
         )
         if delay_scale < 0.0:
             raise ValueError(f"delay_scale must be non-negative, got {delay_scale}")
@@ -125,6 +148,12 @@ class AsynchronousScheduler(RoundEngine):
         self._rng = as_generator(seed)
         self._bursty = False
         self._pending: Dict[int, List[_InFlight]] = {node: [] for node in range(self.n)}
+        # Batch-plane analogue of ``_pending``: parallel link arrays plus
+        # a registry of the batches those links reference (pruned as
+        # their last link delivers).
+        self._pending_links: Tuple[np.ndarray, ...] = _empty_links()
+        self._batches_in_flight: Dict[int, RoundBatch] = {}
+        self._batch_seq = 0
 
     # -- delay model -----------------------------------------------------------
     def _advance_regime(self) -> None:
@@ -171,7 +200,7 @@ class AsynchronousScheduler(RoundEngine):
         return deadline
 
     # -- delivery --------------------------------------------------------------
-    def _deliver(
+    def _deliver_object(
         self, plans: Sequence[BroadcastPlan], round_index: int
     ) -> Dict[int, List[Message]]:
         target = self._wait_target()  # fail fast, before any RNG draw
@@ -213,10 +242,168 @@ class AsynchronousScheduler(RoundEngine):
         )
         return inboxes
 
+    def _deliver_batch(
+        self, plans: Sequence[BroadcastPlan], round_index: int
+    ) -> Dict[int, BatchInbox]:
+        target = self._wait_target()  # fail fast, before any RNG draw
+        n = self.n
+        t0 = float(self.rounds_executed)
+        batch = self._validated_batch(plans, round_index)
+        self._advance_regime()
+
+        arrival, send_round, sender, receiver, bid, row = self._pending_links
+        fresh_arrival = np.empty(0, dtype=np.float64)
+        fresh_recv = np.empty(0, dtype=np.int64)
+        if batch is not None:
+            num_senders = batch.num_senders
+            if batch.delivers is None:
+                row_idx = np.repeat(batch.full_rows(), n)
+                recv_idx = np.tile(np.arange(n, dtype=np.int64), num_senders)
+            else:
+                coords = np.argwhere(batch.delivers)
+                row_idx = coords[:, 0]
+                recv_idx = coords[:, 1]
+            k = int(row_idx.shape[0])
+            # Common random numbers: one stream-identical vectorized fill
+            # for the k delivering links in the object plane's C-order
+            # walk (sender asc, receiver asc).  The Pareto transform runs
+            # through Python-float arithmetic because numpy's SIMD pow
+            # kernel differs from scalar pow by an ulp on ~5% of inputs;
+            # the subsequent burst/shift arithmetic is elementwise and
+            # therefore bitwise-identical either way.
+            variates = self._rng.random(size=k)
+            scale = self.delay_scale
+            power = -1.0 / self.tail_index
+            lags = np.fromiter(
+                (scale * ((1.0 - u) ** power - 1.0) for u in variates.tolist()),
+                dtype=np.float64,
+                count=k,
+            )
+            if self._bursty:
+                lags *= self.burst_factor
+            link_senders = batch.senders[row_idx]
+            lags[link_senders == recv_idx] = 0.0
+            if any(delay_map for delay_map in batch.delays):
+                keys = row_idx * n + recv_idx  # ascending (C-order coords)
+                for i, delay_map in enumerate(batch.delays):
+                    if delay_map:
+                        for recv, pinned in delay_map.items():
+                            if int(batch.senders[i]) == recv:
+                                continue  # self-delivery wins over a pin
+                            pos = int(np.searchsorted(keys, i * n + recv))
+                            if pos < k and keys[pos] == i * n + recv:
+                                lags[pos] = float(pinned)  # uncapped
+            self.stats["sent"] += k
+            self._node_counter("sent")[:] += np.bincount(recv_idx, minlength=n)
+            fresh_arrival = t0 + lags
+            fresh_recv = recv_idx
+            batch_id = self._batch_seq
+            self._batch_seq += 1
+            self._batches_in_flight[batch_id] = batch
+            arrival = np.concatenate([arrival, fresh_arrival])
+            send_round = np.concatenate(
+                [send_round, np.full(k, round_index, dtype=np.int64)]
+            )
+            sender = np.concatenate([sender, link_senders])
+            receiver = np.concatenate([receiver, recv_idx])
+            bid = np.concatenate([bid, np.full(k, batch_id, dtype=np.int64)])
+            row = np.concatenate([row, row_idx])
+
+        # Per receiver, deliver everything arrived by its decision time,
+        # in (arrival, send_round, sender) order — one global lexsort
+        # with the receiver as outermost key replaces the per-receiver
+        # Python sorts of the object plane.
+        order = np.lexsort((sender, send_round, arrival, receiver))
+        arr_sorted = arrival[order]
+        recv_sorted = receiver[order]
+        starts = np.searchsorted(recv_sorted, np.arange(n), side="left")
+        ends = np.searchsorted(recv_sorted, np.arange(n), side="right")
+        timeout = (
+            self.wait.timeout_rounds
+            if self.wait.timeout_rounds is not None
+            else self.timeout_rounds
+        )
+        deadline = t0 + timeout
+        decisions = np.full(n, deadline, dtype=np.float64)
+        if target > 0:
+            reached = (ends - starts) >= target
+            decisions[reached] = np.minimum(
+                deadline, np.maximum(t0, arr_sorted[starts[reached] + target - 1])
+            )
+        counts = np.empty(n, dtype=np.int64)
+        for node in range(n):
+            counts[node] = np.searchsorted(
+                arr_sorted[starts[node] : ends[node]], decisions[node], side="right"
+            )
+        positions = np.arange(arr_sorted.shape[0], dtype=np.int64)
+        arrived = (positions - starts[recv_sorted]) < counts[recv_sorted]
+
+        num_delivered = int(np.count_nonzero(arrived))
+        self.stats["delivered"] += num_delivered
+        if num_delivered:
+            self._node_counter("delivered")[:] += np.bincount(
+                recv_sorted[arrived], minlength=n
+            )
+        if fresh_recv.size:
+            late = fresh_arrival > decisions[fresh_recv]
+            num_late = int(np.count_nonzero(late))
+            if num_late:
+                self.stats["delayed"] += num_late
+                self._node_counter("delayed")[:] += np.bincount(
+                    fresh_recv[late], minlength=n
+                )
+
+        bid_sorted = bid[order]
+        row_sorted = row[order]
+        keep = order[~arrived]
+        self._pending_links = (
+            arrival[keep], send_round[keep], sender[keep],
+            receiver[keep], bid[keep], row[keep],
+        )
+        bids_present = np.unique(bid_sorted[arrived]) if num_delivered else bid_sorted[:0]
+        local = np.searchsorted(bids_present, bid_sorted) if num_delivered else bid_sorted
+        batches_tuple = tuple(
+            self._batches_in_flight[int(key)] for key in bids_present
+        )
+        # Prune the registry to batches that still have links in flight
+        # (the inboxes built below hold their own references).
+        live = set(np.unique(self._pending_links[4]).tolist())
+        self._batches_in_flight = {
+            key: value for key, value in self._batches_in_flight.items() if key in live
+        }
+        empty = BatchInbox.empty()
+        inboxes: Dict[int, BatchInbox] = {}
+        for node in range(n):
+            count = int(counts[node])
+            if count == 0:
+                inboxes[node] = empty
+                continue
+            segment = slice(starts[node], starts[node] + count)
+            local_bids = local[segment]
+            rows = row_sorted[segment]
+            if local_bids[0] == local_bids[-1] and (
+                count <= 2 or (local_bids == local_bids[0]).all()
+            ):
+                inboxes[node] = BatchInbox.single(
+                    batches_tuple[int(local_bids[0])], rows
+                )
+            else:
+                inboxes[node] = BatchInbox(batches_tuple, rows, local_bids)
+        return inboxes
+
     # -- lifecycle -------------------------------------------------------------
     def pending_count(self) -> int:
         """Messages currently in flight (sent but not yet delivered)."""
-        return sum(len(queue) for queue in self._pending.values())
+        return sum(len(queue) for queue in self._pending.values()) + int(
+            self._pending_links[0].shape[0]
+        )
+
+    def pending_count_per_node(self) -> np.ndarray:
+        counts = np.zeros(self.n, dtype=np.int64)
+        for node, queue in self._pending.items():
+            counts[node] += len(queue)
+        counts += np.bincount(self._pending_links[3], minlength=self.n)
+        return counts
 
     def reset(self) -> None:
         """Drop history and expire in-flight messages at the exchange boundary.
@@ -225,7 +412,12 @@ class AsynchronousScheduler(RoundEngine):
         exchange ends simply arrive too late to matter and are counted
         under ``expired_at_reset`` (never ``dropped``).
         """
-        self.stats["expired_at_reset"] += self.pending_count()
+        expired = self.pending_count()
+        self.stats["expired_at_reset"] += expired
+        if expired and self.message_plane == "batch":
+            self._node_counter("expired_at_reset")[:] += self.pending_count_per_node()
         for queue in self._pending.values():
             queue.clear()
+        self._pending_links = _empty_links()
+        self._batches_in_flight.clear()
         super().reset()

@@ -24,10 +24,19 @@ Concrete schedulers:
 from __future__ import annotations
 
 import abc
+import os
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.network.batch import (
+    BatchInbox,
+    RoundBatch,
+    build_round_batch,
+    resolve_message_plane,
+)
 from repro.network.delivery import (
     AdversaryPlanFn,
     HonestPlanFn,
@@ -101,6 +110,17 @@ class RoundEngine(abc.ABC):
         enforces the agreement protocols' full-broadcast contract on
         honest senders; ``False`` admits star-shaped exchanges where an
         honest plan addresses a single receiver.
+    message_plane:
+        ``"batch"`` (default) routes delivery through the array-backed
+        batch plane (:mod:`repro.network.batch`); ``"object"`` keeps the
+        per-message reference plane the pinned fixtures were generated
+        on.  Both planes are bitwise-equivalent; ``None`` reads the
+        ``REPRO_MESSAGE_PLANE`` environment variable.
+    node_trace:
+        When true, the engine additionally records one *per-node* delta
+        row per round (see :meth:`node_trace_snapshot`) on top of the
+        cumulative per-node counters it always maintains on the batch
+        plane.  Requires the batch plane.
     """
 
     #: Extra rounds a message may lag behind its send round (0 = lock-step).
@@ -116,10 +136,21 @@ class RoundEngine(abc.ABC):
         keep_history: bool = True,
         max_history: Optional[int] = None,
         require_full_broadcast: bool = True,
+        message_plane: Optional[str] = None,
+        node_trace: bool = False,
     ) -> None:
         self.broadcast = ReliableBroadcast(
             n, byzantine, require_full_broadcast=require_full_broadcast
         )
+        if message_plane is None:
+            message_plane = os.environ.get("REPRO_MESSAGE_PLANE") or None
+        self.message_plane = resolve_message_plane(message_plane)
+        self.node_trace = bool(node_trace)
+        if self.node_trace and self.message_plane != "batch":
+            raise ValueError(
+                "per-node delivery traces require the batch message plane "
+                "(the object plane only maintains aggregate counters)"
+            )
         self.n = self.broadcast.n
         self.byzantine = self.broadcast.byzantine
         self.honest = tuple(sorted(set(range(self.n)) - set(self.byzantine)))
@@ -138,6 +169,14 @@ class RoundEngine(abc.ABC):
         #: Per-round delivery deltas (see :meth:`trace_snapshot`); only
         #: populated by schedulers whose delivery is worth reporting.
         self.traces: List[Dict[str, int]] = []
+        #: Cumulative per-node counters, receiver-attributed: for every
+        #: counter key, an ``(n,)`` int64 array whose entry ``r`` counts
+        #: the links *addressed to* node ``r`` with that outcome.  Only
+        #: the batch plane maintains these (columns sum to the matching
+        #: :attr:`stats` entry there); empty on the object plane.
+        self.node_stats: Dict[str, np.ndarray] = {}
+        #: Per-round per-node delta rows (populated when ``node_trace``).
+        self.node_traces: List[Dict[str, object]] = []
         self.wait = WaitCondition()
         #: Monotone count of rounds this engine has executed, across
         #: exchanges.  Crash schedules are expressed against this clock,
@@ -210,6 +249,11 @@ class RoundEngine(abc.ABC):
         wrapper on top.
         """
         before = dict(self.stats) if self.records_stats else None
+        node_before = (
+            {key: arr.copy() for key, arr in self.node_stats.items()}
+            if self.node_trace
+            else None
+        )
         inboxes = self._deliver(plans, round_index)
         if before is not None:
             # One sparse delta row per executed round, stamped with the
@@ -221,6 +265,13 @@ class RoundEngine(abc.ABC):
                 if value - before.get(key, 0)
             }
             self.traces.append({"round": self.rounds_executed, **delta})
+        if node_before is not None:
+            node_delta: Dict[str, object] = {}
+            for key, arr in self.node_stats.items():
+                moved = arr - node_before.get(key, 0)
+                if moved.any():
+                    node_delta[key] = moved
+            self.node_traces.append({"round": self.rounds_executed, **node_delta})
         self.rounds_executed += 1
         starved = enforce_quorum(
             inboxes,
@@ -234,12 +285,58 @@ class RoundEngine(abc.ABC):
             self.history.append(result)
         return result
 
+    def _deliver(self, plans: Sequence[BroadcastPlan], round_index: int):
+        """Materialise this round's inboxes on the active message plane."""
+        if self.message_plane == "batch":
+            return self._deliver_batch(plans, round_index)
+        return self._deliver_object(plans, round_index)
+
     @abc.abstractmethod
-    def _deliver(
+    def _deliver_object(
         self, plans: Sequence[BroadcastPlan], round_index: int
     ) -> Dict[int, List[Message]]:
-        """Materialise this round's inboxes (scheduler-specific)."""
+        """Per-message reference delivery (the pre-batch-plane code path)."""
         raise NotImplementedError
+
+    @abc.abstractmethod
+    def _deliver_batch(
+        self, plans: Sequence[BroadcastPlan], round_index: int
+    ) -> Dict[int, BatchInbox]:
+        """Vectorized delivery — bitwise-equivalent to the object plane."""
+        raise NotImplementedError
+
+    def _validated_batch(
+        self, plans: Sequence[BroadcastPlan], round_index: int
+    ) -> Optional[RoundBatch]:
+        """Validate plans and build this round's batch (``None`` if silent).
+
+        The validation mirrors :meth:`_validated_messages` exactly
+        (range checks, honest full-broadcast, one plan per sender); only
+        the materialisation differs — one ``(S, d)`` matrix instead of
+        ``S`` message objects.
+        """
+        by_sender: Dict[int, BroadcastPlan] = {}
+        for plan in plans:
+            self.broadcast.validate_plan(plan)
+            if plan.sender in by_sender:
+                raise ValueError(
+                    f"sender {plan.sender} submitted two broadcast plans in round {round_index}; "
+                    "reliable broadcast admits at most one message per sender per round"
+                )
+            by_sender[plan.sender] = plan
+        return build_round_batch(by_sender, round_index, self.n)
+
+    def _empty_batch_inboxes(self) -> Dict[int, BatchInbox]:
+        empty = BatchInbox.empty()
+        return {node: empty for node in range(self.n)}
+
+    def _node_counter(self, key: str) -> np.ndarray:
+        """The cumulative per-node array for ``key`` (created on demand)."""
+        counter = self.node_stats.get(key)
+        if counter is None:
+            counter = np.zeros(self.n, dtype=np.int64)
+            self.node_stats[key] = counter
+        return counter
 
     def _validated_messages(
         self, plans: Sequence[BroadcastPlan], round_index: int
@@ -296,6 +393,40 @@ class RoundEngine(abc.ABC):
     def stats_snapshot(self) -> Dict[str, int]:
         """Copy of the cumulative delivery counters."""
         return dict(self.stats)
+
+    def node_stats_snapshot(self) -> Dict[str, List[int]]:
+        """Cumulative per-node counters as plain lists (batch plane only).
+
+        Receiver-attributed: entry ``r`` of ``"sent"`` counts the
+        messages addressed to (and actually sent towards) node ``r``, so
+        the per-node conservation identity mirrors the aggregate one —
+        e.g. ``sent == delivered + dropped + crash_omitted`` per node
+        under the lossy scheduler, ``sent == delivered +
+        expired_at_reset + pending`` under partial/asynchronous.  Empty
+        on the object plane.
+        """
+        return {key: arr.tolist() for key, arr in self.node_stats.items()}
+
+    def node_trace_snapshot(self) -> List[Dict[str, object]]:
+        """Per-round per-node delta rows (requires ``node_trace=True``).
+
+        One row per executed round: ``{"round": <monotone clock>,
+        <counter>: [n per-node deltas], ...}`` with all-zero counters
+        omitted.  Each counter list sums to the matching entry of the
+        per-round aggregate trace row (:meth:`trace_snapshot`) — the
+        aggregation identity ``tests/test_message_plane.py`` pins.
+        """
+        return [
+            {
+                key: (value.tolist() if isinstance(value, np.ndarray) else value)
+                for key, value in row.items()
+            }
+            for row in self.node_traces
+        ]
+
+    def pending_count_per_node(self) -> np.ndarray:
+        """In-flight messages per receiver (``(n,)``; zero by default)."""
+        return np.zeros(self.n, dtype=np.int64)
 
     def trace_snapshot(self) -> List[Dict[str, int]]:
         """Copy of the per-round delivery trace.

@@ -29,7 +29,10 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.engine.base import RoundEngine
+from repro.network.batch import BatchInbox
 from repro.network.message import Message
 from repro.network.reliable_broadcast import BroadcastPlan
 from repro.utils.rng import SeedLike, as_generator
@@ -85,10 +88,13 @@ class LossyScheduler(RoundEngine):
         keep_history: bool = True,
         max_history: Optional[int] = None,
         require_full_broadcast: bool = True,
+        message_plane: Optional[str] = None,
+        node_trace: bool = False,
     ) -> None:
         super().__init__(
             n, byzantine, keep_history=keep_history, max_history=max_history,
             require_full_broadcast=require_full_broadcast,
+            message_plane=message_plane, node_trace=node_trace,
         )
         if not 0.0 <= drop_rate < 1.0:
             raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
@@ -107,7 +113,7 @@ class LossyScheduler(RoundEngine):
             for crashed, start, stop in self.crash_schedule
         )
 
-    def _deliver(
+    def _deliver_object(
         self, plans: Sequence[BroadcastPlan], round_index: int
     ) -> Dict[int, List[Message]]:
         clock = self.rounds_executed
@@ -141,3 +147,83 @@ class LossyScheduler(RoundEngine):
                 inboxes[receiver].append(message)
                 self.stats["delivered"] += 1
         return inboxes
+
+    def _deliver_batch(
+        self, plans: Sequence[BroadcastPlan], round_index: int
+    ) -> Dict[int, BatchInbox]:
+        clock = self.rounds_executed
+        batch = self._validated_batch(plans, round_index)
+        if batch is None:
+            return self._empty_batch_inboxes()
+        n = self.n
+        num_senders = batch.num_senders
+
+        # Reliable fast path: nothing can fail, every receiver shares
+        # one zero-copy view of the full batch.
+        if batch.delivers is None and self.drop_rate == 0.0 and not self.crash_schedule:
+            shared = BatchInbox.single(batch, batch.full_rows())
+            self.stats["sent"] += num_senders * n
+            self.stats["delivered"] += num_senders * n
+            self._node_counter("sent")[:] += num_senders
+            self._node_counter("delivered")[:] += num_senders
+            return {node: shared for node in range(n)}
+
+        delivers = batch.delivers_mask()
+        receivers = np.arange(n)
+        # Common random numbers: one vectorized fill whose C-order walk
+        # of (row, receiver) coordinates matches the object plane's
+        # nested sender-ascending / receiver-ascending loop, so the two
+        # planes consume the drop stream identically.  The variate is
+        # drawn whether or not a crash voids the link (never for
+        # self-delivery), exactly as the scalar path does.
+        if self.drop_rate > 0.0:
+            draw_mask = delivers & (batch.senders[:, None] != receivers[None, :])
+            drops = np.zeros((num_senders, n), dtype=bool)
+            variates = self._rng.random(size=int(np.count_nonzero(draw_mask)))
+            drops[draw_mask] = variates < self.drop_rate
+        else:
+            drops = None
+
+        if self.crash_schedule:
+            sender_down = np.fromiter(
+                (self.is_crashed(int(s), clock) for s in batch.senders),
+                dtype=bool,
+                count=num_senders,
+            )
+            receiver_down = np.fromiter(
+                (self.is_crashed(r, clock) for r in range(n)), dtype=bool, count=n
+            )
+            suppressed = delivers & sender_down[:, None]
+            sent = delivers & ~sender_down[:, None]
+            crash_omitted = sent & receiver_down[None, :]
+            alive = sent & ~receiver_down[None, :]
+            self.stats["suppressed"] += int(np.count_nonzero(suppressed))
+            self.stats["crash_omitted"] += int(np.count_nonzero(crash_omitted))
+            self._node_counter("suppressed")[:] += suppressed.sum(axis=0, dtype=np.int64)
+            self._node_counter("crash_omitted")[:] += crash_omitted.sum(
+                axis=0, dtype=np.int64
+            )
+        else:
+            sent = delivers
+            alive = delivers
+
+        if drops is not None:
+            dropped = alive & drops
+            delivered = alive & ~drops
+            self.stats["dropped"] += int(np.count_nonzero(dropped))
+            self._node_counter("dropped")[:] += dropped.sum(axis=0, dtype=np.int64)
+        else:
+            delivered = alive
+
+        self.stats["sent"] += int(np.count_nonzero(sent))
+        self.stats["delivered"] += int(np.count_nonzero(delivered))
+        self._node_counter("sent")[:] += sent.sum(axis=0, dtype=np.int64)
+        self._node_counter("delivered")[:] += delivered.sum(axis=0, dtype=np.int64)
+
+        if delivered.all():
+            shared = BatchInbox.single(batch, batch.full_rows())
+            return {node: shared for node in range(n)}
+        return {
+            node: BatchInbox.single(batch, np.flatnonzero(delivered[:, node]))
+            for node in range(n)
+        }

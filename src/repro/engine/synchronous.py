@@ -15,7 +15,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from repro.engine.base import RoundEngine
+from repro.network.batch import BatchInbox
 from repro.network.message import Message
 from repro.network.reliable_broadcast import BroadcastPlan
 
@@ -26,7 +29,7 @@ class SynchronousScheduler(RoundEngine):
     horizon = 0
     records_stats = False
 
-    def _deliver(
+    def _deliver_object(
         self, plans: Sequence[BroadcastPlan], round_index: int
     ) -> Dict[int, List[Message]]:
         inboxes = self.broadcast.deliver(plans, round_index)
@@ -35,4 +38,30 @@ class SynchronousScheduler(RoundEngine):
         delivered = sum(len(messages) for messages in inboxes.values())
         self.stats["sent"] += delivered
         self.stats["delivered"] += delivered
+        return inboxes
+
+    def _deliver_batch(
+        self, plans: Sequence[BroadcastPlan], round_index: int
+    ) -> Dict[int, BatchInbox]:
+        batch = self._validated_batch(plans, round_index)
+        if batch is None:
+            return self._empty_batch_inboxes()
+        if batch.delivers is None:
+            # Full broadcast: every receiver sees the same rows in the
+            # same order, so one shared inbox (whose matrix() is the
+            # shared zero-copy payload matrix) serves all of them.
+            shared = BatchInbox.single(batch, batch.full_rows())
+            inboxes = {node: shared for node in range(self.n)}
+            per_node = np.full(self.n, batch.num_senders, dtype=np.int64)
+        else:
+            inboxes = {}
+            for node in range(self.n):
+                rows = np.flatnonzero(batch.delivers[:, node])
+                inboxes[node] = BatchInbox.single(batch, rows)
+            per_node = batch.delivers.sum(axis=0, dtype=np.int64)
+        total = int(per_node.sum())
+        self.stats["sent"] += total
+        self.stats["delivered"] += total
+        self._node_counter("sent")[:] += per_node
+        self._node_counter("delivered")[:] += per_node
         return inboxes

@@ -32,6 +32,18 @@ def history_to_dict(history: TrainingHistory) -> dict:
         data["delivery_trace"] = [
             {k: int(v) for k, v in row.items()} for row in history.delivery_trace
         ]
+    if history.node_stats:
+        data["node_stats"] = {
+            k: [int(v) for v in values] for k, values in history.node_stats.items()
+        }
+    if history.node_delivery_trace:
+        data["node_delivery_trace"] = [
+            {
+                k: (int(v) if k == "round" else [int(u) for u in v])
+                for k, v in row.items()
+            }
+            for row in history.node_delivery_trace
+        ]
     return data
 
 
@@ -86,6 +98,17 @@ def history_from_dict(data: dict) -> TrainingHistory:
         delivery_trace=[
             {str(k): int(v) for k, v in row.items()}
             for row in data.get("delivery_trace", [])
+        ],
+        node_stats={
+            str(k): [int(v) for v in values]
+            for k, values in data.get("node_stats", {}).items()
+        },
+        node_delivery_trace=[
+            {
+                str(k): (int(v) if k == "round" else [int(u) for u in v])
+                for k, v in row.items()
+            }
+            for row in data.get("node_delivery_trace", [])
         ],
     )
     for record in data.get("records", []):

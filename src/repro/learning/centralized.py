@@ -25,6 +25,7 @@ from repro.engine.base import RoundEngine
 from repro.engine.synchronous import SynchronousScheduler
 from repro.learning.client import Client
 from repro.learning.history import RoundRecord, TrainingHistory
+from repro.network.batch import BatchInbox
 from repro.network.reliable_broadcast import BroadcastPlan
 from repro.nn.model import Sequential
 from repro.nn.optimizers import SGD
@@ -132,7 +133,9 @@ class CentralizedTrainer:
         images = self.test_data.images
         return images.reshape(images.shape[0], -1) if self.flatten_inputs else images
 
-    def _collect_gradients(self, parameters: np.ndarray, round_index: int) -> tuple[List[np.ndarray], float]:
+    def _collect_gradients(
+        self, parameters: np.ndarray, round_index: int
+    ) -> tuple[Optional[np.ndarray], int, float]:
         """Gradients the server receives this round (after attacks).
 
         Every client submits one plan addressed to the server link only
@@ -142,6 +145,12 @@ class CentralizedTrainer:
         delivery counters measure.  Selective omission is meaningless
         here, but timing attacks may still shape delivery through
         ``send_delays``.
+
+        Returns the received ``(m, d)`` gradient stack in client order
+        (``None`` when nothing arrived), the received count, and the
+        honest mean loss.  On the batch message plane the stack is one
+        vectorized gather — zero-copy for a fully delivered round — with
+        the rows bitwise-identical to stacking per-message payloads.
         """
         honest_vectors: Dict[int, np.ndarray] = {}
         own_vectors: Dict[int, np.ndarray] = {}
@@ -197,14 +206,36 @@ class CentralizedTrainer:
             )
 
         result = self.engine.submit(plans, round_index)
-        delivered = {msg.sender: msg.payload for msg in result.inboxes.get(self.server_node, [])}
+        inbox = result.inboxes.get(self.server_node, [])
+        mean_loss = float(np.mean(losses)) if losses else float("nan")
+        if isinstance(inbox, BatchInbox):
+            if len(inbox) == 0:
+                return None, 0, mean_loss
+            # Reorder delivered rows into client order without building
+            # a single Message.  Delivery order already *is* client
+            # order for the horizon-based schedulers, keeping the gather
+            # zero-copy (and its transported sparsity profile attached);
+            # the asynchronous scheduler's arrival order needs one row
+            # permutation.
+            row_of = {s: i for i, s in enumerate(inbox.senders())}
+            order = [
+                row_of[client.client_id]
+                for client in self.clients
+                if client.client_id in row_of
+            ]
+            matrix = inbox.matrix()
+            if order != list(range(len(order))) or len(order) != len(inbox):
+                matrix = np.asarray(matrix)[np.asarray(order, dtype=np.int64)]
+            return matrix, len(order), mean_loss
+        delivered = {msg.sender: msg.payload for msg in inbox}
         received = [
             delivered[client.client_id]
             for client in self.clients
             if client.client_id in delivered
         ]
-        mean_loss = float(np.mean(losses)) if losses else float("nan")
-        return received, mean_loss
+        if not received:
+            return None, 0, mean_loss
+        return np.stack(received, axis=0), len(received), mean_loss
 
     # -- public API -----------------------------------------------------------
     def train(self, rounds: int, *, record_every: int = 1) -> TrainingHistory:
@@ -228,25 +259,25 @@ class CentralizedTrainer:
         test_inputs = self._test_inputs()
 
         for round_index in range(rounds):
-            received, mean_loss = self._collect_gradients(parameters, round_index)
-            if not received and self._strict_delivery:
+            received, num_received, mean_loss = self._collect_gradients(
+                parameters, round_index
+            )
+            if received is None and self._strict_delivery:
                 raise RuntimeError(
                     f"no gradients received in round {round_index}; cannot aggregate"
                 )
-            if not self._strict_delivery and len(received) < self._min_received:
+            if not self._strict_delivery and num_received < self._min_received:
                 # The lossy/partial network starved the server below the
                 # rule's floor this round; skip the step, keep the model.
                 _logger.info(
                     "centralized round %d: only %d gradients arrived (need %d), skipping step",
-                    round_index, len(received), self._min_received,
+                    round_index, num_received, self._min_received,
                 )
             else:
                 # One context per round: every distance-based step of the
                 # rule (and any diagnostics sharing it) reuses the same
                 # pairwise-distance matrix.
-                round_context = AggregationContext(
-                    np.stack(received, axis=0), dtype=self.dtype_name
-                )
+                round_context = AggregationContext(received, dtype=self.dtype_name)
                 aggregate = self.aggregation.aggregate(context=round_context)
                 parameters = self.optimizer.step(parameters, aggregate, round_index)
                 self.global_model.set_flat_parameters(parameters)
@@ -262,6 +293,9 @@ class CentralizedTrainer:
         if self.engine.records_stats:
             history.network_stats = self.engine.stats_snapshot()
             history.delivery_trace = self.engine.trace_snapshot()
+            if self.engine.node_trace:
+                history.node_stats = self.engine.node_stats_snapshot()
+                history.node_delivery_trace = self.engine.node_trace_snapshot()
         return history
 
     def _attack_name(self) -> Optional[str]:

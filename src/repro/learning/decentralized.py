@@ -242,6 +242,9 @@ class DecentralizedTrainer:
         if self.engine.records_stats:
             history.network_stats = self.engine.stats_snapshot()
             history.delivery_trace = self.engine.trace_snapshot()
+            if self.engine.node_trace:
+                history.node_stats = self.engine.node_stats_snapshot()
+                history.node_delivery_trace = self.engine.node_trace_snapshot()
         return history
 
     def _attack_name(self) -> Optional[str]:

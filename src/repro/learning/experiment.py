@@ -89,6 +89,11 @@ class ExperimentConfig:
     # results bit for bit, "float32" halves kernel bandwidth and is
     # accurate to the documented tolerance tier.
     dtype: str = "float64"
+    # Record per-node delivery traces on the engine (batch message plane
+    # only; see RoundEngine.node_trace_snapshot).  Off by default — the
+    # per-round aggregate trace is usually enough and per-node rows cost
+    # O(n) memory per round.
+    node_trace: bool = False
 
     def __post_init__(self) -> None:
         from repro.linalg.precision import SUPPORTED_DTYPES
@@ -130,6 +135,10 @@ class ExperimentConfig:
                     and self.burstiness == 0.0,
                     "wait_count/wait_timeout/burstiness are only meaningful for "
                     "scheduler='asynchronous'")
+        if self.node_trace:
+            require(self.scheduler != "synchronous",
+                    "node_trace records per-node delivery rows; the synchronous "
+                    "scheduler delivers everything and records no stats")
         # Canonicalise crash windows to nested int tuples so configs
         # built from JSON lists compare equal to hand-built ones.
         object.__setattr__(
@@ -318,6 +327,7 @@ def _make_engine(
         seed=stable_component_seed(config.seed, "scheduler", config.scheduler),
         keep_history=False,
         require_full_broadcast=not star,
+        node_trace=config.node_trace,
     )
 
 

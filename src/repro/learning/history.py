@@ -49,6 +49,13 @@ class TrainingHistory:
     burst of drops or a crash window is visible as an event in time
     rather than a smeared cumulative total.  Also empty for synchronous
     runs.
+
+    ``node_stats`` / ``node_delivery_trace`` resolve the same counters
+    per *node* (receiver-attributed): cumulative ``(n,)`` lists per
+    counter, and one per-round row of per-node deltas.  Populated only
+    when the experiment opted in (``ExperimentConfig.node_trace``, batch
+    message plane); each per-node list sums exactly to the matching
+    aggregate counter.
     """
 
     setting: str
@@ -60,6 +67,8 @@ class TrainingHistory:
     records: List[RoundRecord] = field(default_factory=list)
     network_stats: Dict[str, int] = field(default_factory=dict)
     delivery_trace: List[Dict[str, int]] = field(default_factory=list)
+    node_stats: Dict[str, List[int]] = field(default_factory=dict)
+    node_delivery_trace: List[Dict[str, object]] = field(default_factory=list)
 
     def append(self, record: RoundRecord) -> None:
         """Add a round record (rounds must be appended in order)."""

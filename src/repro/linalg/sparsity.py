@@ -149,6 +149,44 @@ def detect_structure(matrix: np.ndarray) -> SparsityProfile:
     )
 
 
+def project_profile(
+    profile: SparsityProfile, rows: np.ndarray, matrix: np.ndarray
+) -> SparsityProfile:
+    """Project a batch-level profile through a row selection.
+
+    The batch message plane computes one profile per ``(S, d)`` payload
+    matrix and every receiver sees a gather ``matrix = payloads[rows]``
+    of it; this derives the receiver's profile without re-running the
+    per-row byte hashing of :func:`detect_structure`:
+
+    - **Row groups** project exactly: two gathered rows are byte-equal
+      iff their source rows are (gathering copies bytes verbatim), so
+      the subset's group ids are the batch's group ids remapped to
+      first-occurrence positions *within the selection*.
+    - **Zero columns** are recomputed directly on ``matrix`` — one
+      vectorized ``O(m·d)`` pass, the cheap half of detection — because
+      a column can be all-``+0.0`` in the subset without being so in the
+      full batch (and float32-tier consumers hand in a converted matrix
+      whose zero set must be measured on *its* bytes).
+
+    The result is exactly what ``detect_structure(matrix)`` would claim
+    when ``matrix`` holds the same bytes as ``payloads[rows]``; on a
+    dtype-converted matrix the row grouping is a (still exact) refinement
+    — byte-equal float64 rows convert to byte-equal rows — so kernels
+    never see a claim the dense paths would distinguish.
+    """
+    group_ids = profile.row_group_ids[np.asarray(rows, dtype=np.int64)]
+    _, first, inverse = np.unique(group_ids, return_index=True, return_inverse=True)
+    plus_zero = (matrix == 0.0) & ~np.signbit(matrix)
+    nonzero_columns = ~plus_zero.all(axis=0)
+    return SparsityProfile(
+        row_group_ids=first[inverse.reshape(-1)].astype(np.int64, copy=False),
+        num_unique_rows=int(first.shape[0]),
+        nonzero_columns=nonzero_columns,
+        num_zero_columns=int(nonzero_columns.size - np.count_nonzero(nonzero_columns)),
+    )
+
+
 def dedup_subsets(
     indices: np.ndarray, profile: SparsityProfile
 ) -> Optional[Tuple[np.ndarray, np.ndarray]]:

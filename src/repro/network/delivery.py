@@ -26,6 +26,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.network.batch import BatchInbox
 from repro.network.message import Message
 from repro.network.reliable_broadcast import BroadcastPlan
 
@@ -65,17 +66,28 @@ class RoundResult:
     starved: Tuple[int, ...] = ()
 
     def received_matrix(self, node: int) -> np.ndarray:
-        """Stack of payloads node ``node`` delivered this round, ``(m, d)``."""
+        """Stack of payloads node ``node`` delivered this round, ``(m, d)``.
+
+        On the batch message plane this is a single vectorized gather
+        (zero-copy when the node delivered a whole batch in order) that
+        also carries the batch's transported sparsity profile; values are
+        bitwise-identical to stacking the materialised messages.
+        """
         messages = self.inboxes.get(node, [])
-        if not messages:
+        if not len(messages):
             raise EmptyInboxError(
                 f"node {node} received no messages in round {self.round_index}"
             )
+        if isinstance(messages, BatchInbox):
+            return messages.matrix()
         return np.stack([msg.payload for msg in messages], axis=0)
 
     def senders(self, node: int) -> List[int]:
         """Sender ids of the messages node ``node`` delivered this round."""
-        return [msg.sender for msg in self.inboxes.get(node, [])]
+        messages = self.inboxes.get(node, [])
+        if isinstance(messages, BatchInbox):
+            return messages.senders()
+        return [msg.sender for msg in messages]
 
 
 def full_broadcast_plan(

@@ -37,7 +37,17 @@ class Message:
             raise ValueError(f"sender must be non-negative, got {self.sender}")
         if self.round_index < 0:
             raise ValueError(f"round_index must be non-negative, got {self.round_index}")
-        payload = np.array(self.payload, dtype=np.float64, copy=True).reshape(-1)
+        payload = self.payload
+        if _is_trusted_payload(payload):
+            # Already-validated immutable view (a batch-plane payload
+            # row, or a payload lifted from another Message): adopting
+            # it without the defensive copy cannot weaken mutation
+            # protection, because neither the view nor anything it
+            # aliases is writeable.
+            if payload.size == 0:
+                raise ValueError("payload must be non-empty")
+            return
+        payload = np.array(payload, dtype=np.float64, copy=True).reshape(-1)
         if payload.size == 0:
             raise ValueError("payload must be non-empty")
         payload.setflags(write=False)
@@ -49,10 +59,40 @@ class Message:
         return int(self.payload.shape[0])
 
     def with_payload(self, payload: np.ndarray) -> "Message":
-        """Copy of this message carrying a different payload."""
+        """Copy of this message carrying a different payload.
+
+        The payload is handed to the constructor as-is: a trusted
+        (already immutable) array is adopted without a second
+        copy/validate cycle, anything else goes through the usual
+        defensive copy exactly once.
+        """
         return Message(
             sender=self.sender,
             round_index=self.round_index,
-            payload=np.asarray(payload, dtype=np.float64),
+            payload=payload,
             metadata=dict(self.metadata),
         )
+
+
+def _is_trusted_payload(payload: object) -> bool:
+    """Whether a payload can be adopted without the defensive copy.
+
+    Trusted means: a 1-D C-contiguous float64 ndarray that is
+    non-writeable all the way down its base chain, so no caller holds a
+    writeable alias of the underlying buffer.  A read-only view of a
+    *writeable* array is not trusted — the owner could still mutate the
+    message through its own reference.
+    """
+    if (
+        type(payload) is not np.ndarray
+        or payload.dtype != np.float64
+        or payload.ndim != 1
+        or not payload.flags.c_contiguous
+    ):
+        return False
+    base = payload
+    while isinstance(base, np.ndarray):
+        if base.flags.writeable:
+            return False
+        base = base.base
+    return base is None

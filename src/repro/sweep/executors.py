@@ -101,6 +101,12 @@ def run_cell(payload: dict) -> dict:
         from repro.analysis.reporting import delivery_trace_summary
 
         summary["trace"] = delivery_trace_summary(history.delivery_trace)
+    if history.node_stats:
+        # Per-node resolution (node_trace cells only): compact worst-node
+        # reading in the summary, full per-node counters in "history".
+        from repro.analysis.reporting import node_stats_summary
+
+        summary["node"] = node_stats_summary(history.node_stats)
     return {
         "schema": ROW_SCHEMA_VERSION,
         "index": payload["index"],

@@ -39,6 +39,11 @@ def config_to_dict(config: ExperimentConfig) -> dict:
     data = dataclasses.asdict(config)
     data["mlp_hidden"] = list(data["mlp_hidden"])
     data["crash_schedule"] = [list(window) for window in data["crash_schedule"]]
+    # Elide the node_trace flag at its default so serialised configs —
+    # and the sweep rows embedding them — stay byte-identical to the
+    # pre-flag format (row byte-identity is a pinned-fixture contract).
+    if not data.get("node_trace"):
+        data.pop("node_trace", None)
     return data
 
 
