@@ -1,0 +1,296 @@
+"""TOPOLOGY — sparse communication graphs vs the complete graph.
+
+Not a figure of the paper; the scaling benchmark for the topology-aware
+communication plane (:mod:`repro.network.topology`).  It drives the same
+full-broadcast exchange through the lossy scheduler on the batch message
+plane under the complete graph and under sparse topologies (ring and
+random-regular), over n in {64, 256, 1024}, and reports rounds/sec plus
+the per-delivered-message cost.
+
+The unit the CI gate asserts on is **per round**, not per delivered
+message: a round stages the Θ(n·d) payload stack and walks the Θ(n²)
+mask algebra regardless of how many links the topology keeps, so a
+sparse graph amortises that fixed work over far fewer deliveries — its
+per-message cost is structurally higher even though the round itself is
+an order of magnitude faster.  What the gate protects is the actual
+contract of the refactor: intersecting the topology mask must never
+cost more wall-clock than the delivery work it removes, i.e. a sparse
+topology is never slower than complete at equal (scheduler, n, d).
+The per-delivered-message figures are recorded in the artifact so a
+regression in the sparse fixed costs stays visible.
+
+Running it writes a ``BENCH_topology.json`` artifact:
+
+    PYTHONPATH=src python benchmarks/bench_topology.py
+
+``--smoke`` runs the single CI gate — lossy delivery at n=1024, d=256
+under complete, ring and random-regular — and asserts both sparse
+topologies complete their rounds at least as fast as the complete
+graph:
+
+    PYTHONPATH=src python benchmarks/bench_topology.py --smoke
+
+or through pytest:
+
+    pytest benchmarks/bench_topology.py -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+try:
+    from _harness import build_info, print_report
+except ImportError:  # pragma: no cover - direct script execution
+    sys.path.insert(0, __file__.rsplit("/", 1)[0])
+    from _harness import build_info, print_report
+
+from repro.engine import make_scheduler
+from repro.network.delivery import EmptyInboxError, full_broadcast_plan
+from repro.network.topology import make_topology
+
+#: Topologies benchmarked against each other (kwargs feed make_topology).
+TOPOLOGY_CASES = [
+    {"topology": "complete", "kwargs": {}},
+    {"topology": "ring", "kwargs": {}},
+    {"topology": "random-regular", "kwargs": {"degree": 4}},
+]
+
+#: (n, rounds) grid of the full run; d is fixed at the CI gate's 256.
+SIZE_GRID = [(64, 30), (256, 10), (1024, 4)]
+DIMENSION = 256
+
+#: The gate's scheduler: lossy delivery exercises the drop-mask /
+#: topology-mask intersection (synchronous complete graphs take the
+#: zero-copy full-broadcast fast path, which a sparse topology
+#: legitimately cannot).
+SCHEDULER = "lossy"
+SCHEDULER_KWARGS = {"drop_rate": 0.1}
+
+#: CI smoke gate: n, d, rounds, and the slack factor a sparse topology's
+#: per-round time may exceed the complete graph's (noise allowance only
+#: — measured sparse rounds are ~10-20x faster).
+SMOKE_N, SMOKE_D, SMOKE_ROUNDS, SMOKE_MAX_RATIO = 1024, 256, 3, 1.0
+
+
+def _case_label(case: Dict[str, object]) -> str:
+    knobs = ",".join(f"{k}={v}" for k, v in sorted(case["kwargs"].items()))
+    return case["topology"] + (f"({knobs})" if knobs else "")
+
+
+def measure_case(
+    topology: str,
+    topology_kwargs: Dict[str, object],
+    *,
+    n: int,
+    d: int,
+    rounds: int,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Time ``rounds`` lossy delivery rounds under one topology.
+
+    The timed loop is the delivery plane: every node broadcasts, the
+    scheduler intersects its drop mask with the topology mask, and every
+    receiver materialises its consumption-ready ``(m, d)`` matrix.  No
+    aggregation runs inside the loop.
+    """
+    topo = make_topology(topology, n, seed=seed, **topology_kwargs)
+    engine = make_scheduler(
+        SCHEDULER, n, seed=seed, keep_history=False, topology=topo,
+        **SCHEDULER_KWARGS
+    )
+    engine.require_quorum(1, policy="starve")
+    rng = np.random.default_rng(seed)
+    plans = [full_broadcast_plan(i, rng.normal(size=d)) for i in range(n)]
+
+    delivered_rows = 0
+    start = time.perf_counter()
+    for round_index in range(rounds):
+        result = engine.submit(plans, round_index)
+        for node in range(n):
+            try:
+                matrix = result.received_matrix(node)
+            except EmptyInboxError:
+                continue  # starved receiver this round
+            delivered_rows += matrix.shape[0]
+    seconds = time.perf_counter() - start
+
+    assert delivered_rows > 0, "no node materialised any delivery"
+    stats = engine.stats_snapshot()
+    return {
+        "topology": topology,
+        "kwargs": dict(topology_kwargs),
+        "label": _case_label({"topology": topology, "kwargs": topology_kwargs}),
+        "n": n,
+        "d": d,
+        "edges": topo.num_edges,
+        "rounds": rounds,
+        "seconds": seconds,
+        "rounds_per_sec": rounds / seconds if seconds > 0 else float("inf"),
+        "us_per_delivered": 1e6 * seconds / stats["delivered"],
+        "stats": stats,
+    }
+
+
+def attach_speedups(rows: List[Dict[str, object]]) -> None:
+    """Annotate sparse rows with their per-round speedup over complete."""
+    complete_times = {
+        row["n"]: row["seconds"] / row["rounds"]
+        for row in rows
+        if row["topology"] == "complete"
+    }
+    for row in rows:
+        if row["topology"] == "complete":
+            continue
+        base = complete_times.get(row["n"])
+        if base is not None and row["seconds"] > 0:
+            row["round_speedup_vs_complete"] = base / (row["seconds"] / row["rounds"])
+
+
+def run_trajectory(smoke: bool = False) -> Dict[str, object]:
+    """Measure every topology over the node-axis grid."""
+    # Warm up BLAS / allocator before timing anything.
+    measure_case("ring", {}, n=8, d=8, rounds=10)
+    rows: List[Dict[str, object]] = []
+    grid = [(SMOKE_N, SMOKE_ROUNDS)] if smoke else SIZE_GRID
+    d = SMOKE_D if smoke else DIMENSION
+    for n, rounds in grid:
+        for case in TOPOLOGY_CASES:
+            rows.append(
+                measure_case(
+                    case["topology"], dict(case["kwargs"]), n=n, d=d,
+                    rounds=rounds,
+                )
+            )
+    attach_speedups(rows)
+    return {
+        "benchmark": "topology",
+        "created_unix": time.time(),
+        "build": build_info(),
+        "smoke": smoke,
+        "scheduler": SCHEDULER,
+        "scheduler_kwargs": SCHEDULER_KWARGS,
+        "cases": rows,
+    }
+
+
+def render_report(payload: Dict[str, object]) -> str:
+    lines = [
+        f"{'topology':<28} {'n':>5} {'edges':>8} {'rounds':>6} "
+        f"{'rounds/s':>9} {'speedup':>8} {'us/msg':>8} {'delivered':>10}"
+    ]
+    for row in payload["cases"]:
+        speedup = row.get("round_speedup_vs_complete")
+        lines.append(
+            f"{row['label']:<28} {row['n']:>5} {row['edges']:>8} {row['rounds']:>6} "
+            f"{row['rounds_per_sec']:>9.2f} "
+            f"{(f'{speedup:.1f}x' if speedup is not None else '-'):>8} "
+            f"{row['us_per_delivered']:>8.3f} "
+            f"{row['stats']['delivered']:>10}"
+        )
+    return "\n".join(lines)
+
+
+def check_sanity(payload: Dict[str, object]) -> None:
+    for row in payload["cases"]:
+        assert row["rounds_per_sec"] > 0, f"{row['label']} made no progress"
+        stats = row["stats"]
+        assert stats["delivered"] > 0, f"{row['label']} delivered nothing"
+        assert stats["delivered"] <= stats["sent"], (
+            f"{row['label']} counters do not add up: {stats}"
+        )
+    # Sparse topologies must actually be sparse: far fewer deliveries
+    # than the complete graph at the same n.
+    by_n: Dict[int, Dict[str, int]] = {}
+    for row in payload["cases"]:
+        by_n.setdefault(row["n"], {})[row["topology"]] = row["stats"]["delivered"]
+    for n, delivered in by_n.items():
+        complete = delivered.get("complete")
+        if complete is None:
+            continue
+        for topology, count in delivered.items():
+            if topology != "complete":
+                assert count < complete, (
+                    f"{topology} at n={n} delivered {count} >= complete's "
+                    f"{complete}; the topology mask is not restricting links"
+                )
+
+
+def check_smoke_gate(payload: Dict[str, object]) -> None:
+    """CI gate: sparse rounds at least as fast as complete at n=1024."""
+    complete = [
+        row for row in payload["cases"]
+        if row["topology"] == "complete" and row["n"] == SMOKE_N
+    ]
+    assert complete, "smoke run produced no complete-graph row"
+    base = complete[0]["seconds"] / complete[0]["rounds"]
+    sparse = [
+        row for row in payload["cases"]
+        if row["topology"] != "complete" and row["n"] == SMOKE_N
+    ]
+    assert len(sparse) >= 2, "smoke run needs ring and random-regular rows"
+    for row in sparse:
+        per_round = row["seconds"] / row["rounds"]
+        assert per_round <= base * SMOKE_MAX_RATIO, (
+            f"{row['label']} took {per_round:.4f}s per round vs complete's "
+            f"{base:.4f}s at n={SMOKE_N} — the topology mask intersection "
+            f"costs more than the delivery work it removes "
+            f"(allowed ratio {SMOKE_MAX_RATIO}x)"
+        )
+
+
+def write_artifact(payload: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_topology_throughput():
+    """Pytest entry: smoke-sized gate + sanity checks + JSON artifact."""
+    payload = run_trajectory(smoke=True)
+    print_report(
+        "TOPOLOGY",
+        "sparse vs complete communication graphs, rounds/sec",
+        render_report(payload),
+    )
+    write_artifact(payload, "BENCH_topology.json")
+    check_sanity(payload)
+    check_smoke_gate(payload)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI gate only: lossy n=1024 d=256 under complete/ring/"
+             "random-regular, assert sparse rounds not slower",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_topology.json",
+        help="path of the JSON trajectory artifact",
+    )
+    args = parser.parse_args(argv)
+    payload = run_trajectory(smoke=args.smoke)
+    print_report(
+        "TOPOLOGY",
+        "sparse vs complete communication graphs, rounds/sec",
+        render_report(payload),
+    )
+    write_artifact(payload, args.output)
+    print(f"wrote {args.output}")
+    check_sanity(payload)
+    if args.smoke:
+        check_smoke_gate(payload)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,6 +103,37 @@ def node_stats_summary(node_stats: Mapping[str, Sequence[int]]) -> Dict[str, obj
     return summary
 
 
+def topology_delivery_summary(
+    topology, node_stats: Optional[Mapping[str, Sequence[int]]] = None
+) -> Dict[str, object]:
+    """Per-topology delivery reading for sweep rows and reports.
+
+    ``topology`` is a :class:`repro.network.topology.Topology`; the
+    returned dictionary starts from its structural ``summary()`` (name,
+    edge count, degree statistics).  When the cell recorded per-node
+    counters (``node_trace=True``), they are re-read *against the
+    graph*: each node's delivered count is normalised by its closed
+    degree (the number of links addressed to it per sub-round), so a
+    starved low-degree node is visible even when the aggregate delivery
+    rate looks healthy.
+    """
+    summary: Dict[str, object] = dict(topology.summary())
+    if not node_stats:
+        return summary
+    delivered = node_stats.get("delivered")
+    if delivered and len(delivered) == topology.n:
+        closed = [int(d) + 1 for d in topology.degrees]
+        per_link = [float(d) / c for d, c in zip(delivered, closed)]
+        worst = min(range(topology.n), key=lambda node: per_link[node])
+        summary["delivered_per_link"] = {
+            "min": min(per_link),
+            "mean": sum(per_link) / len(per_link),
+            "max": max(per_link),
+        }
+        summary["worst_node"] = int(worst)
+    return summary
+
+
 def format_percent(value: object, width: int = 7) -> str:
     """Fixed-width rendering of a ``[0, 1]`` ratio as a percentage.
 

@@ -16,6 +16,9 @@ The sub-commands cover the common workflows:
 - ``sweep merge`` — fold per-shard JSONL files from a multi-host sweep
   into the canonical grid-order stream, byte-identical to a single-host
   run.
+- ``sweep status`` — aggregate per-shard progress (claimed / done /
+  stale leases, per-owner breakdown) from a lease directory, optionally
+  vetted against a spec for unclaimed-cell counts.
 - ``analyze`` — stream a sweep row file (arbitrarily large; ``.gz``
   transparently decompressed) through the constant-memory aggregator
   and emit a group-by table, deterministic JSON, or a self-contained
@@ -32,6 +35,7 @@ Examples
     python -m repro.cli sweep spec.json --output results.jsonl --workers 4
     python -m repro.cli sweep run spec.json --backend shard --shard 0/2 --output shard0.jsonl
     python -m repro.cli sweep merge shard0.jsonl shard1.jsonl --output merged.jsonl --spec spec.json
+    python -m repro.cli sweep status --lease-dir leases/ --spec spec.json
     python -m repro.cli analyze results.jsonl --group-by aggregation --format table
     python -m repro.cli analyze results.jsonl --format html --output report.html --figures figs/
     python -m repro.cli theory
@@ -61,7 +65,21 @@ from repro.io.results import metric_from_json, save_histories
 from repro.learning.experiment import ExperimentConfig, run_experiment
 from repro.learning.history import TrainingHistory
 from repro.linalg.precision import SUPPORTED_DTYPES
+from repro.network.topology import TOPOLOGY_NAMES
 from repro.sweep.executors import BACKEND_NAMES
+
+
+def _json_object(text: str) -> dict:
+    """argparse ``type=`` for flags that take a JSON object literal."""
+    try:
+        value = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise argparse.ArgumentTypeError(f"not valid JSON: {exc}")
+    if not isinstance(value, dict):
+        raise argparse.ArgumentTypeError(
+            f"must be a JSON object like '{{\"degree\": 4}}', got {text!r}"
+        )
+    return value
 
 
 def _experiment_flags(parser: argparse.ArgumentParser) -> None:
@@ -83,6 +101,20 @@ def _experiment_flags(parser: argparse.ArgumentParser) -> None:
                              "see docs/performance.md)")
     parser.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="synchronous",
                         help="timing model of the communication rounds (see docs/architecture.md)")
+    parser.add_argument("--topology", default="complete",
+                        help="communication graph restricting which links exist "
+                             f"(available: {', '.join(TOPOLOGY_NAMES)}; "
+                             "'expander' is an alias for random-regular; "
+                             "non-complete topologies need --setting decentralized)")
+    parser.add_argument("--topology-kwargs", type=_json_object, default=None,
+                        metavar="JSON",
+                        help="generator parameters as a JSON object, e.g. "
+                             "'{\"degree\": 6}' for random-regular or "
+                             "'{\"clusters\": 4, \"bridges\": 2}' for clusters")
+    parser.add_argument("--exchange", choices=("agreement", "gossip"), default="agreement",
+                        help="decentralized exchange mode: full approximate "
+                             "agreement (default) or neighbourhood gossip "
+                             "averaging (degree-weighted mean)")
     parser.add_argument("--delay", type=int, default=0,
                         help="delivery horizon in rounds (scheduler=partial only)")
     parser.add_argument("--drop-rate", type=float, default=0.0,
@@ -127,12 +159,30 @@ def _build_config(args: argparse.Namespace, aggregation: str) -> ExperimentConfi
         wait_timeout=args.wait_timeout,
         burstiness=args.burstiness,
         node_trace=getattr(args, "node_trace", False),
+        topology=getattr(args, "topology", "complete"),
+        topology_kwargs=getattr(args, "topology_kwargs", None) or {},
+        exchange=getattr(args, "exchange", "agreement"),
     )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _build_config(args, args.aggregation)
     history = run_experiment(config)
+    if config.topology != "complete":
+        from repro.network.topology import make_topology
+        from repro.utils.rng import stable_component_seed
+
+        shape = make_topology(
+            config.topology,
+            config.num_clients,
+            seed=stable_component_seed(config.seed, "topology", config.topology),
+            **config.topology_kwargs,
+        ).summary()
+        print(
+            f"topology: {shape['name']} with {shape['edges']} edges, "
+            f"degree {shape['min_degree']}..{shape['max_degree']}, "
+            f"exchange={config.exchange}"
+        )
     trace = "  ".join(f"{acc:.3f}" for acc in history.accuracies())
     print(f"accuracy per round: {trace}")
     print(f"final accuracy: {history.final_accuracy():.3f}  best: {history.best_accuracy():.3f}")
@@ -481,6 +531,52 @@ def _cmd_sweep_merge(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from repro.sweep.executors import lease_keys_for_cells, scan_lease_dir
+
+    try:
+        status = scan_lease_dir(args.lease_dir, timeout=args.lease_timeout)
+    except FileNotFoundError as exc:
+        print(f"sweep status failed: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"sweep status failed: {exc}", file=sys.stderr)
+        return 2
+    claimed_fresh = status["in_progress"] - status["stale"]
+    print(f"lease dir: {status['lease_dir']} "
+          f"(staleness timeout {status['timeout']:g}s)")
+    line = (f"  done: {status['done_ok']}  failed: {status['done_failed']}  "
+            f"in progress: {claimed_fresh}  stale: {status['stale']}")
+    if args.spec is not None:
+        loaded = _load_sweep_spec(args.spec)
+        if isinstance(loaded, str):
+            print(loaded, file=sys.stderr)
+            return 2
+        grid, _ = loaded
+        try:
+            keys = lease_keys_for_cells(list(grid.validate()))
+        except ValueError as exc:
+            print(f"invalid sweep spec: {exc}", file=sys.stderr)
+            return 2
+        known = status["keys"]
+        unclaimed = sum(1 for key in keys.values() if key not in known)
+        line += f"  unclaimed: {unclaimed}  total: {len(keys)}"
+        foreign = sorted(set(known) - set(keys.values()))
+        if foreign:
+            # Lease keys are namespaced by the grid fingerprint, so
+            # markers from another spec (or schema version) in the same
+            # directory are invisible to this sweep's workers — but the
+            # operator pointing `status` at the wrong spec should see it.
+            line += f"  (+{len(foreign)} lease(s) from a different spec)"
+    print(line)
+    if status["owners"]:
+        print("  per owner:")
+        for owner, row in status["owners"].items():
+            print(f"    {owner}: claimed={row['claimed']} stale={row['stale']} "
+                  f"done_ok={row['done_ok']} done_failed={row['done_failed']}")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.figures import render_figures, write_figures
     from repro.analysis.report import render_html_report
@@ -652,6 +748,19 @@ def build_parser() -> argparse.ArgumentParser:
                              help="merge even when cells are missing")
     sweep_merge.set_defaults(func=_cmd_sweep_merge)
 
+    sweep_status = sweep_sub.add_parser(
+        "status", help="aggregate fleet progress from a lease directory"
+    )
+    sweep_status.add_argument("--lease-dir", type=str, required=True,
+                              help="the shared lease directory the fleet writes to")
+    sweep_status.add_argument("--lease-timeout", type=float, default=300.0,
+                              help="seconds before an unfinished lease counts as "
+                                   "stale (match the fleet's --lease-timeout)")
+    sweep_status.add_argument("--spec", type=str, default=None,
+                              help="sweep spec JSON; adds unclaimed/total counts "
+                                   "and flags leases from a different spec")
+    sweep_status.set_defaults(func=_cmd_sweep_status)
+
     analyze_parser = subparsers.add_parser(
         "analyze",
         help="stream a sweep row file into tables, figures and HTML reports",
@@ -715,7 +824,7 @@ def _normalize_argv(argv: Sequence[str]) -> List[str]:
     """
     argv = list(argv)
     if argv and argv[0] == "sweep" and len(argv) > 1:
-        if argv[1] not in ("run", "merge", "-h", "--help"):
+        if argv[1] not in ("run", "merge", "status", "-h", "--help"):
             argv.insert(1, "run")
     return argv
 

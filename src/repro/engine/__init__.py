@@ -40,6 +40,7 @@ from repro.engine.partial import PartiallySynchronousScheduler
 from repro.engine.rounds import attack_adversary_plan, run_exchange
 from repro.engine.synchronous import SynchronousScheduler
 from repro.network.batch import MESSAGE_PLANES, resolve_message_plane
+from repro.network.topology import Topology
 from repro.utils.rng import SeedLike
 
 #: Scheduler names accepted by :func:`make_scheduler` (and the
@@ -65,6 +66,7 @@ def make_scheduler(
     require_full_broadcast: bool = True,
     message_plane: Optional[str] = None,
     node_trace: bool = False,
+    topology: Optional[Topology] = None,
 ) -> RoundEngine:
     """Instantiate a scheduler by name.
 
@@ -80,7 +82,9 @@ def make_scheduler(
     star mode (honest senders may address a single receiver — the
     centralized trainer's client -> server exchange).  ``message_plane``
     / ``node_trace`` select the delivery representation and per-node
-    trace recording (see :class:`RoundEngine`).
+    trace recording (see :class:`RoundEngine`); ``topology`` installs a
+    sparse communication graph every scheduler intersects with its own
+    delivery decisions (``None`` = all-to-all).
     """
     key = str(name).strip().lower()
     common = dict(
@@ -89,6 +93,7 @@ def make_scheduler(
         require_full_broadcast=require_full_broadcast,
         message_plane=message_plane,
         node_trace=node_trace,
+        topology=topology,
     )
     if key != "asynchronous" and (wait_count or wait_timeout or burstiness):
         raise ValueError(

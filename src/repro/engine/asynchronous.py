@@ -112,11 +112,13 @@ class AsynchronousScheduler(RoundEngine):
         require_full_broadcast: bool = True,
         message_plane: Optional[str] = None,
         node_trace: bool = False,
+        topology=None,
     ) -> None:
         super().__init__(
             n, byzantine, keep_history=keep_history, max_history=max_history,
             require_full_broadcast=require_full_broadcast,
             message_plane=message_plane, node_trace=node_trace,
+            topology=topology,
         )
         if delay_scale < 0.0:
             raise ValueError(f"delay_scale must be non-negative, got {delay_scale}")
@@ -209,7 +211,7 @@ class AsynchronousScheduler(RoundEngine):
         fresh: List[Tuple[int, _InFlight]] = []
         for plan, message in self._validated_messages(plans, round_index):
             for receiver in range(self.n):
-                if not plan.delivers_to(receiver):
+                if not self._delivers_to(plan, receiver):
                     continue
                 # Draw unconditionally (common random numbers), then let
                 # self-delivery / pinned adversary lags override.

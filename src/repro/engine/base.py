@@ -46,6 +46,7 @@ from repro.network.delivery import (
 )
 from repro.network.message import Message
 from repro.network.reliable_broadcast import BroadcastPlan, ReliableBroadcast
+from repro.network.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -121,6 +122,15 @@ class RoundEngine(abc.ABC):
         row per round (see :meth:`node_trace_snapshot`) on top of the
         cumulative per-node counters it always maintains on the batch
         plane.  Requires the batch plane.
+    topology:
+        Optional :class:`~repro.network.topology.Topology` restricting
+        which (sender, receiver) links exist at all.  ``None`` (and the
+        complete topology — detected, so ``topology="complete"`` stays
+        bitwise-identical to no topology) means all-to-all.  A sparse
+        topology's mask is intersected with each round's delivery mask
+        *before* the scheduler's own drop/crash/delay decisions, so
+        drop-rate and delay RNG draws only cover links that exist — the
+        topology cut composes with, never replaces, the timing model.
     """
 
     #: Extra rounds a message may lag behind its send round (0 = lock-step).
@@ -138,6 +148,7 @@ class RoundEngine(abc.ABC):
         require_full_broadcast: bool = True,
         message_plane: Optional[str] = None,
         node_trace: bool = False,
+        topology: Optional[Topology] = None,
     ) -> None:
         self.broadcast = ReliableBroadcast(
             n, byzantine, require_full_broadcast=require_full_broadcast
@@ -177,6 +188,9 @@ class RoundEngine(abc.ABC):
         self.node_stats: Dict[str, np.ndarray] = {}
         #: Per-round per-node delta rows (populated when ``node_trace``).
         self.node_traces: List[Dict[str, object]] = []
+        self.topology: Optional[Topology] = None
+        self._topology_mask: Optional[np.ndarray] = None
+        self.set_topology(topology)
         self.wait = WaitCondition()
         #: Monotone count of rounds this engine has executed, across
         #: exchanges.  Crash schedules are expressed against this clock,
@@ -185,6 +199,41 @@ class RoundEngine(abc.ABC):
         self.rounds_executed = 0
 
     # -- configuration --------------------------------------------------------
+    def set_topology(self, topology: Optional[Topology]) -> None:
+        """Install (or clear, with ``None``) the communication topology.
+
+        May be called mid-run — this is the partition/heal primitive
+        (:class:`repro.byzantine.partition.TopologyPartition` cuts edges
+        by installing ``topology.without_edges(...)`` and heals by
+        re-installing the original).  A complete topology resolves to no
+        mask at all, keeping the default path bitwise-identical to an
+        engine that never heard of topologies.
+        """
+        if topology is not None:
+            if not isinstance(topology, Topology):
+                raise TypeError(
+                    f"topology must be a Topology or None, got {type(topology).__name__}"
+                )
+            if topology.n != self.n:
+                raise ValueError(
+                    f"topology is over n={topology.n} nodes but the engine has n={self.n}"
+                )
+        self.topology = topology
+        self._topology_mask = (
+            None if topology is None or topology.is_complete else topology.mask
+        )
+
+    def _delivers_to(self, plan: BroadcastPlan, receiver: int) -> bool:
+        """Whether ``plan`` addresses ``receiver`` over an existing link.
+
+        The object-plane counterpart of the batch plane's mask
+        intersection: the plan's recipient set, gated by the topology.
+        """
+        if not plan.delivers_to(receiver):
+            return False
+        mask = self._topology_mask
+        return mask is None or bool(mask[plan.sender, receiver])
+
     def require_quorum(self, quorum: int, *, policy: str = "raise") -> None:
         """Require every honest node to deliver at least ``quorum`` messages.
 
@@ -324,7 +373,10 @@ class RoundEngine(abc.ABC):
                     "reliable broadcast admits at most one message per sender per round"
                 )
             by_sender[plan.sender] = plan
-        return build_round_batch(by_sender, round_index, self.n)
+        batch = build_round_batch(by_sender, round_index, self.n)
+        if batch is not None and self._topology_mask is not None:
+            batch.restrict(self._topology_mask)
+        return batch
 
     def _empty_batch_inboxes(self) -> Dict[int, BatchInbox]:
         empty = BatchInbox.empty()

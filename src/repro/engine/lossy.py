@@ -90,11 +90,13 @@ class LossyScheduler(RoundEngine):
         require_full_broadcast: bool = True,
         message_plane: Optional[str] = None,
         node_trace: bool = False,
+        topology=None,
     ) -> None:
         super().__init__(
             n, byzantine, keep_history=keep_history, max_history=max_history,
             require_full_broadcast=require_full_broadcast,
             message_plane=message_plane, node_trace=node_trace,
+            topology=topology,
         )
         if not 0.0 <= drop_rate < 1.0:
             raise ValueError(f"drop_rate must be in [0, 1), got {drop_rate}")
@@ -121,7 +123,7 @@ class LossyScheduler(RoundEngine):
         for plan, message in self._validated_messages(plans, round_index):
             sender_down = self.is_crashed(plan.sender, clock)
             for receiver in range(self.n):
-                if not plan.delivers_to(receiver):
+                if not self._delivers_to(plan, receiver):
                     continue
                 # Common random numbers: the per-link drop variate is
                 # drawn whether or not the crash schedule voids the link,

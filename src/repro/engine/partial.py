@@ -64,11 +64,13 @@ class PartiallySynchronousScheduler(RoundEngine):
         require_full_broadcast: bool = True,
         message_plane: Optional[str] = None,
         node_trace: bool = False,
+        topology=None,
     ) -> None:
         super().__init__(
             n, byzantine, keep_history=keep_history, max_history=max_history,
             require_full_broadcast=require_full_broadcast,
             message_plane=message_plane, node_trace=node_trace,
+            topology=topology,
         )
         if max_delay < 0:
             raise ValueError(f"max_delay must be non-negative, got {max_delay}")
@@ -111,7 +113,7 @@ class PartiallySynchronousScheduler(RoundEngine):
 
         for plan, message in self._validated_messages(plans, round_index):
             for receiver in range(self.n):
-                if not plan.delivers_to(receiver):
+                if not self._delivers_to(plan, receiver):
                     continue
                 self.stats["sent"] += 1
                 lag = self._link_lag(plan, receiver)

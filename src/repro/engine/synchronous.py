@@ -33,6 +33,12 @@ class SynchronousScheduler(RoundEngine):
         self, plans: Sequence[BroadcastPlan], round_index: int
     ) -> Dict[int, List[Message]]:
         inboxes = self.broadcast.deliver(plans, round_index)
+        mask = self._topology_mask
+        if mask is not None:
+            inboxes = {
+                node: [m for m in messages if mask[m.sender, node]]
+                for node, messages in inboxes.items()
+            }
         # Under synchrony every sent message is delivered, so one count
         # covers both (records_stats stays False: nothing to report).
         delivered = sum(len(messages) for messages in inboxes.values())

@@ -31,6 +31,7 @@ from repro.engine.synchronous import SynchronousScheduler
 from repro.learning.client import Client
 from repro.learning.history import RoundRecord, TrainingHistory
 from repro.linalg.distances import diameter
+from repro.network.topology import validate_topology
 from repro.nn.optimizers import SGD
 from repro.utils.logging import get_logger
 from repro.utils.rng import as_generator
@@ -72,7 +73,22 @@ class DecentralizedTrainer:
         inbox in memory).  Under lossy / partially synchronous engines a
         client starved below quorum keeps its current gradient estimate
         for that sub-round.
+    exchange:
+        ``"agreement"`` (default) runs the paper's approximate-agreement
+        sub-rounds, which require every node to be able to receive the
+        ``n - t`` quorum — on a sparse engine topology that quorum
+        feasibility is validated up front.  ``"gossip"`` replaces the
+        update rule with neighbourhood averaging: each sub-round a node
+        takes the plain mean of whatever arrived (its closed
+        neighbourhood under the topology — i.e. the degree-weighted
+        gossip step), so any *connected* topology works.  Gossip offers
+        no Byzantine robustness guarantee; it is the classical baseline
+        the agreement rules are compared against.
     """
+
+    #: Exchange modes accepted by the trainer (and the ``exchange``
+    #: config field / sweep axis).
+    EXCHANGE_MODES = ("agreement", "gossip")
 
     def __init__(
         self,
@@ -86,6 +102,7 @@ class DecentralizedTrainer:
         flatten_inputs: bool = True,
         seed=0,
         engine: Optional[RoundEngine] = None,
+        exchange: str = "agreement",
     ) -> None:
         if not clients:
             raise ValueError("at least one client is required")
@@ -124,8 +141,23 @@ class DecentralizedTrainer:
                 f"clients {self.byzantine_ids}"
             )
         self.engine = engine
+        if exchange not in self.EXCHANGE_MODES:
+            raise ValueError(
+                f"unknown exchange mode {exchange!r}; supported: {self.EXCHANGE_MODES}"
+            )
+        self.exchange = exchange
         policy = "raise" if isinstance(engine, SynchronousScheduler) else "starve"
-        self.engine.require_quorum(agreement.minimum_messages(), policy=policy)
+        if exchange == "gossip":
+            # Gossip only needs *something* to average; a node that
+            # received nothing this sub-round keeps its vector.
+            self.engine.require_quorum(1, policy=policy)
+        else:
+            if engine.topology is not None:
+                # Full agreement needs every node able to receive the
+                # n - t quorum; fail fast with the actionable diagnostic
+                # instead of starving every round at runtime.
+                validate_topology(engine.topology, engine.n, t=agreement.t)
+            self.engine.require_quorum(agreement.minimum_messages(), policy=policy)
         # Event-driven schedulers have no delivery horizon: each client
         # waits for the n - t agreement quorum (or its wait window),
         # then processes whatever arrived.  A count pinned on the engine
@@ -166,11 +198,19 @@ class DecentralizedTrainer:
         # Each learning iteration is a fresh exchange: any message still
         # in flight from the previous iteration's sub-rounds is stale.
         self.engine.reset()
+        if self.exchange == "gossip":
+            # Gossip step: the plain mean of the received stack.  The
+            # delivered set is the node's closed neighbourhood under the
+            # engine topology, so this is the degree-weighted
+            # (1/|N[i]|-per-neighbour) gossip average.
+            update = lambda _node, received: np.asarray(received).mean(axis=0)
+        else:
+            update = lambda _node, received: self.agreement.update(received)
         return run_exchange(
             self.engine,
             current,
             subrounds,
-            lambda _node, received: self.agreement.update(received),
+            update,
             adversary_plan,
         )
 

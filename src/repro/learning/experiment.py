@@ -32,6 +32,7 @@ from repro.learning.centralized import CentralizedTrainer
 from repro.learning.client import Client
 from repro.learning.decentralized import DecentralizedTrainer
 from repro.learning.history import TrainingHistory
+from repro.network.topology import Topology, make_topology, resolve_topology_name
 from repro.nn.architectures import build_cifarnet, build_mlp
 from repro.nn.model import Sequential
 from repro.nn.optimizers import SGD
@@ -94,6 +95,20 @@ class ExperimentConfig:
     # per-round aggregate trace is usually enough and per-node rows cost
     # O(n) memory per round.
     node_trace: bool = False
+    # Communication topology of the decentralized exchange (see
+    # repro.network.topology): "complete" (the paper's all-to-all,
+    # bitwise-identical to the historical behaviour), "ring", "torus",
+    # "random-regular" (alias "expander"), or "clusters".
+    # `topology_kwargs` parameterise the generator (e.g. {"degree": 4}
+    # for random-regular, {"clusters": 3, "bridges": 2} for clusters).
+    topology: str = "complete"
+    topology_kwargs: dict = field(default_factory=dict)
+    # How decentralized clients combine received gradients each
+    # sub-round: "agreement" (the paper's approximate agreement — needs
+    # the n - t quorum to be reachable at every node) or "gossip"
+    # (neighbourhood mean — works on any connected topology, no
+    # Byzantine robustness guarantee).
+    exchange: str = "agreement"
 
     def __post_init__(self) -> None:
         from repro.linalg.precision import SUPPORTED_DTYPES
@@ -139,6 +154,23 @@ class ExperimentConfig:
             require(self.scheduler != "synchronous",
                     "node_trace records per-node delivery rows; the synchronous "
                     "scheduler delivers everything and records no stats")
+        # Topology / exchange validation.  Resolve aliases eagerly so
+        # "expander" and "random-regular" configs compare (and sweep)
+        # as one canonical value.
+        object.__setattr__(self, "topology", resolve_topology_name(self.topology))
+        require(self.exchange in ("agreement", "gossip"),
+                f"unknown exchange {self.exchange!r}; supported: ('agreement', 'gossip')")
+        if self.topology == "complete":
+            require(not self.topology_kwargs,
+                    "topology_kwargs are only meaningful for sparse topologies "
+                    "(topology='complete' takes no parameters)")
+        else:
+            require(self.setting == "decentralized",
+                    "sparse topologies only apply to the decentralized setting "
+                    "(the centralized star exchange has a fixed shape)")
+        if self.exchange == "gossip":
+            require(self.setting == "decentralized",
+                    "exchange='gossip' only applies to the decentralized setting")
         # Canonicalise crash windows to nested int tuples so configs
         # built from JSON lists compare equal to hand-built ones.
         object.__setattr__(
@@ -314,6 +346,18 @@ def _make_engine(
     ``star`` builds the engine for the centralized client -> server
     exchange, where honest senders unicast to the server link.
     """
+    topology: Optional[Topology] = None
+    if config.topology != "complete":
+        # Complete stays None (not a materialised complete Topology) so
+        # the default engine path is bitwise-untouched.  The generator
+        # seed is its own component stream: changing the topology axis
+        # never perturbs the data/model/attack/scheduler streams.
+        topology = make_topology(
+            config.topology,
+            n,
+            seed=stable_component_seed(config.seed, "topology", config.topology),
+            **config.topology_kwargs,
+        )
     return make_scheduler(
         config.scheduler,
         n,
@@ -328,6 +372,7 @@ def _make_engine(
         keep_history=False,
         require_full_broadcast=not star,
         node_trace=config.node_trace,
+        topology=topology,
     )
 
 
@@ -379,6 +424,7 @@ def run_decentralized_experiment(config: ExperimentConfig) -> TrainingHistory:
         flatten_inputs=built.flatten_inputs,
         seed=stable_component_seed(config.seed, "trainer"),
         engine=_make_engine(config, config.num_clients, byzantine),
+        exchange=config.exchange,
     )
     history = trainer.train(config.rounds)
     history.heterogeneity = config.heterogeneity

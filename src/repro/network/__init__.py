@@ -32,7 +32,14 @@ from repro.network.delivery import (
     enforce_quorum,
     full_broadcast_plan,
 )
-from repro.network.topology import complete_topology, validate_topology
+from repro.network.topology import (
+    TOPOLOGY_NAMES,
+    Topology,
+    complete_topology,
+    make_topology,
+    resolve_topology_name,
+    validate_topology,
+)
 
 __all__ = [
     "BroadcastPlan",
@@ -41,10 +48,14 @@ __all__ = [
     "ReliableBroadcast",
     "RoundResult",
     "SynchronousNetwork",
+    "TOPOLOGY_NAMES",
+    "Topology",
     "collect_plans",
     "complete_topology",
     "enforce_quorum",
     "full_broadcast_plan",
+    "make_topology",
+    "resolve_topology_name",
     "validate_topology",
 ]
 

@@ -162,6 +162,23 @@ class RoundBatch:
         """Row index array selecting the whole batch (cached arange)."""
         return np.arange(self.num_senders, dtype=np.int64)
 
+    def restrict(self, mask: np.ndarray) -> None:
+        """Intersect delivery with an ``(n, n)`` link mask in place.
+
+        ``mask[s, r]`` gates whether sender ``s`` can reach receiver
+        ``r`` at all — this is how a sparse :class:`~repro.network.
+        topology.Topology` composes with the schedulers' own drop /
+        crash / delay masks: the topology cut happens once here, before
+        any scheduler looks at :attr:`delivers`.  A full-broadcast batch
+        (``delivers is None``) materialises its mask from the topology
+        rows; an already-restricted batch intersects in place.
+        """
+        selected = mask[self.senders]  # fancy index -> fresh (S, n) array
+        if self.delivers is None:
+            self.delivers = selected
+        else:
+            self.delivers &= selected
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"RoundBatch(round={self.round_index}, senders={self.num_senders}, "

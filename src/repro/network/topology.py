@@ -1,15 +1,37 @@
 """Communication topologies.
 
 The paper's algorithms assume all-to-all communication (every node can
-reliably broadcast to every other node); the decentralized learning loop
-therefore uses a complete graph.  The helpers here build and validate
-topologies as :mod:`networkx` graphs so alternative topologies (for
-extensions / ablations) plug into the same simulator.
+reliably broadcast to every other node); historically the simulator
+hard-coded that complete graph.  This module makes the communication
+graph a first-class axis instead:
+
+- :class:`Topology` — a frozen adjacency representation: sorted
+  neighbour arrays (self included) plus a precomputed ``(n, n)`` boolean
+  delivery mask with a ``True`` diagonal.  ``mask[s, r]`` answers "does
+  ``s``'s broadcast reach ``r``?", which is exactly the shape the batch
+  message plane's per-sender delivery masks use — the engines intersect
+  it with their drop/crash/delay masks (see
+  :meth:`repro.engine.base.RoundEngine.set_topology`).
+- :func:`make_topology` — a registry of seeded, deterministic named
+  generators (:data:`TOPOLOGY_NAMES`): ``complete``, ``ring``,
+  ``torus``, ``random-regular`` (the "expander" family) and ``clusters``
+  (geographic clusters bridged into a ring).
+- :func:`validate_topology` — structural diagnostics with actionable
+  errors: node coverage, connectivity (a disconnected graph silently
+  starves whole components), and quorum feasibility against the
+  Byzantine tolerance ``t`` (full agreement needs every node to *be
+  able* to receive ``n - t`` messages, i.e. closed degree ``>= n - t``).
+
+The legacy :mod:`networkx` helpers (:func:`complete_topology`,
+:func:`neighbours`) remain for callers that work on graphs directly.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
 import networkx as nx
+import numpy as np
 
 
 def complete_topology(n: int) -> nx.Graph:
@@ -26,16 +48,6 @@ def complete_topology(n: int) -> nx.Graph:
     return graph
 
 
-def validate_topology(graph: nx.Graph, n: int) -> None:
-    """Check a topology covers exactly nodes ``0..n-1``."""
-    nodes = set(graph.nodes)
-    expected = set(range(n))
-    if nodes != expected:
-        raise ValueError(
-            f"topology nodes {sorted(nodes)} do not match expected {sorted(expected)}"
-        )
-
-
 def neighbours(graph: nx.Graph, node: int) -> list[int]:
     """Sorted list of nodes that receive ``node``'s broadcasts (incl. itself)."""
     if node not in graph:
@@ -43,3 +55,369 @@ def neighbours(graph: nx.Graph, node: int) -> list[int]:
     out = set(graph.neighbors(node))
     out.add(node)
     return sorted(out)
+
+
+class Topology:
+    """Frozen adjacency representation of a communication graph.
+
+    Attributes
+    ----------
+    name:
+        The generator name this topology was built from (``"complete"``,
+        ``"ring"``, ...; derived names like ``"ring+cut"`` mark edge
+        removals).
+    n:
+        Number of nodes (ids ``0..n-1``).
+    mask:
+        Read-only ``(n, n)`` boolean delivery mask, symmetric with a
+        ``True`` diagonal: ``mask[s, r]`` — does ``s``'s broadcast reach
+        ``r``?  This is the array the engines intersect with their own
+        delivery masks, so building it once here keeps the per-round
+        cost at a single vectorized ``&``.
+    """
+
+    __slots__ = ("name", "n", "mask", "is_complete", "_degrees", "_neighbours")
+
+    def __init__(self, name: str, mask: np.ndarray) -> None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 2 or mask.shape[0] != mask.shape[1]:
+            raise ValueError(f"topology mask must be square, got shape {mask.shape}")
+        if mask.shape[0] < 1:
+            raise ValueError("topology needs at least one node")
+        if not np.array_equal(mask, mask.T):
+            raise ValueError("topology mask must be symmetric (links are undirected)")
+        if not mask.diagonal().all():
+            raise ValueError(
+                "topology mask must have a True diagonal (a node always "
+                "delivers its own broadcast to itself)"
+            )
+        mask = mask.copy()
+        mask.setflags(write=False)
+        self.name = str(name)
+        self.n = int(mask.shape[0])
+        self.mask = mask
+        self.is_complete = bool(mask.all())
+        self._degrees: Optional[np.ndarray] = None
+        self._neighbours: Dict[int, np.ndarray] = {}
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def from_graph(cls, name: str, graph: nx.Graph, n: int) -> "Topology":
+        """Build from a :mod:`networkx` graph over nodes ``0..n-1``.
+
+        Self-loops are implied (the diagonal is forced ``True``), so
+        generators need not add them.
+        """
+        nodes = set(graph.nodes)
+        expected = set(range(n))
+        if nodes != expected:
+            raise ValueError(
+                f"topology nodes {sorted(nodes)} do not match expected {sorted(expected)}"
+            )
+        mask = np.zeros((n, n), dtype=bool)
+        for u, v in graph.edges:
+            mask[u, v] = True
+            mask[v, u] = True
+        np.fill_diagonal(mask, True)
+        return cls(name, mask)
+
+    # -- structure ------------------------------------------------------------
+    @property
+    def degrees(self) -> np.ndarray:
+        """Open degrees (neighbour counts excluding self), ``(n,)`` int64."""
+        if self._degrees is None:
+            degrees = self.mask.sum(axis=1, dtype=np.int64) - 1
+            degrees.setflags(write=False)
+            self._degrees = degrees
+        return self._degrees
+
+    @property
+    def min_degree(self) -> int:
+        return int(self.degrees.min())
+
+    @property
+    def max_degree(self) -> int:
+        return int(self.degrees.max())
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected non-self edges."""
+        return int(self.mask.sum() - self.n) // 2
+
+    def neighbours(self, node: int) -> np.ndarray:
+        """Sorted read-only neighbour ids of ``node``, self included."""
+        if not 0 <= node < self.n:
+            raise ValueError(f"node {node} is not part of the topology (n={self.n})")
+        cached = self._neighbours.get(node)
+        if cached is None:
+            cached = np.flatnonzero(self.mask[node]).astype(np.int64)
+            cached.setflags(write=False)
+            self._neighbours[node] = cached
+        return cached
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Sorted list of undirected non-self edges ``(u, v)`` with ``u < v``."""
+        u, v = np.nonzero(np.triu(self.mask, k=1))
+        return list(zip(u.tolist(), v.tolist()))
+
+    def connected_components(self) -> List[List[int]]:
+        """Connected components as sorted node lists (largest first)."""
+        unseen = set(range(self.n))
+        components: List[List[int]] = []
+        while unseen:
+            frontier = [unseen.pop()]
+            component = set(frontier)
+            while frontier:
+                reachable = np.flatnonzero(self.mask[frontier].any(axis=0))
+                frontier = [int(v) for v in reachable if v in unseen]
+                component.update(frontier)
+                unseen.difference_update(frontier)
+            components.append(sorted(component))
+        components.sort(key=lambda c: (-len(c), c[0]))
+        return components
+
+    @property
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) == 1
+
+    # -- derivation -----------------------------------------------------------
+    def without_edges(self, edges: Iterable[Sequence[int]]) -> "Topology":
+        """Copy with the given undirected edges removed (self-loops kept).
+
+        This is the partition primitive: removing every edge that
+        crosses two groups splits the communication graph; *healing*
+        simply re-installs the original topology object (see
+        :class:`repro.byzantine.partition.TopologyPartition`).
+        """
+        mask = self.mask.copy()
+        for edge in edges:
+            u, v = (int(x) for x in edge)
+            if not (0 <= u < self.n and 0 <= v < self.n):
+                raise ValueError(f"edge ({u}, {v}) out of range for n={self.n}")
+            if u == v:
+                raise ValueError("self-delivery cannot be removed from a topology")
+            mask[u, v] = False
+            mask[v, u] = False
+        name = self.name if self.name.endswith("+cut") else f"{self.name}+cut"
+        return Topology(name, mask)
+
+    def summary(self) -> Dict[str, object]:
+        """Compact JSON-safe reading for sweep rows and reports."""
+        degrees = self.degrees
+        return {
+            "name": self.name,
+            "n": self.n,
+            "edges": self.num_edges,
+            "min_degree": int(degrees.min()),
+            "max_degree": int(degrees.max()),
+            "mean_degree": float(degrees.mean()),
+            "complete": self.is_complete,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Topology(name={self.name!r}, n={self.n}, edges={self.num_edges}, "
+            f"degree=[{self.min_degree}, {self.max_degree}])"
+        )
+
+
+# -- generators ---------------------------------------------------------------
+
+def _generate_complete(n: int, rng: np.random.Generator) -> nx.Graph:
+    return nx.complete_graph(n)
+
+
+def _generate_ring(n: int, rng: np.random.Generator) -> nx.Graph:
+    if n < 3:
+        raise ValueError(f"topology 'ring' needs n >= 3 nodes, got {n}")
+    return nx.cycle_graph(n)
+
+
+def _near_square_factors(n: int) -> Tuple[int, int]:
+    rows = int(np.sqrt(n))
+    while rows > 1 and n % rows:
+        rows -= 1
+    return rows, n // rows
+
+
+def _generate_torus(
+    n: int, rng: np.random.Generator, *, rows: Optional[int] = None,
+    cols: Optional[int] = None,
+) -> nx.Graph:
+    if rows is None and cols is None:
+        rows, cols = _near_square_factors(n)
+    elif rows is None:
+        rows = n // int(cols)  # type: ignore[arg-type]
+    elif cols is None:
+        cols = n // int(rows)
+    rows, cols = int(rows), int(cols)  # type: ignore[arg-type]
+    if rows < 1 or cols < 1 or rows * cols != n:
+        raise ValueError(
+            f"topology 'torus' needs rows*cols == n, got rows={rows} cols={cols} n={n}"
+        )
+    if min(rows, cols) == 1 and max(rows, cols) < 3:
+        raise ValueError(f"topology 'torus' needs at least 3 nodes per ring, got {n}")
+    grid = nx.grid_2d_graph(rows, cols, periodic=True)
+    return nx.relabel_nodes(grid, {(r, c): r * cols + c for r, c in grid.nodes})
+
+
+def _generate_random_regular(
+    n: int, rng: np.random.Generator, *, degree: int = 4
+) -> nx.Graph:
+    degree = int(degree)
+    if degree < 1 or degree >= n:
+        raise ValueError(
+            f"topology 'random-regular' needs 1 <= degree < n, got degree={degree} n={n}"
+        )
+    if (n * degree) % 2:
+        raise ValueError(
+            f"topology 'random-regular' needs n*degree even, got n={n} degree={degree}; "
+            f"use degree={degree + 1} or an even n"
+        )
+    # networkx takes an integer seed; derive it from our generator so one
+    # (name, n, seed, kwargs) tuple always yields the same graph.
+    return nx.random_regular_graph(degree, n, seed=int(rng.integers(0, 2**31 - 1)))
+
+
+def _generate_clusters(
+    n: int, rng: np.random.Generator, *, clusters: int = 2, bridges: int = 1
+) -> nx.Graph:
+    """Geographic clusters: dense groups bridged into a ring of clusters.
+
+    Nodes are split into ``clusters`` contiguous, near-equal groups, each
+    internally complete; consecutive clusters (cyclically) are joined by
+    ``bridges`` seeded random cross edges.  ``bridges=0`` deliberately
+    builds a *disconnected* graph (it fails validation) — useful for
+    exercising the diagnostics and for partition scenarios.
+    """
+    clusters, bridges = int(clusters), int(bridges)
+    if not 1 <= clusters <= n:
+        raise ValueError(
+            f"topology 'clusters' needs 1 <= clusters <= n, got clusters={clusters} n={n}"
+        )
+    if bridges < 0:
+        raise ValueError(f"topology 'clusters' needs bridges >= 0, got {bridges}")
+    bounds = np.linspace(0, n, clusters + 1).astype(int)
+    groups = [list(range(bounds[i], bounds[i + 1])) for i in range(clusters)]
+    graph: nx.Graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for group in groups:
+        graph.add_edges_from(nx.complete_graph(group).edges)
+    if clusters > 1 and bridges:
+        for i in range(clusters if clusters > 2 else 1):
+            left, right = groups[i], groups[(i + 1) % clusters]
+            for _ in range(bridges):
+                graph.add_edge(
+                    int(left[int(rng.integers(len(left)))]),
+                    int(right[int(rng.integers(len(right)))]),
+                )
+    return graph
+
+
+_GENERATORS = {
+    "complete": _generate_complete,
+    "ring": _generate_ring,
+    "torus": _generate_torus,
+    "random-regular": _generate_random_regular,
+    "clusters": _generate_clusters,
+}
+
+#: Topology names accepted by :func:`make_topology` (and the
+#: ``ExperimentConfig.topology`` field / sweep axis).
+TOPOLOGY_NAMES: Tuple[str, ...] = tuple(_GENERATORS)
+
+#: Convenience aliases resolved by :func:`resolve_topology_name`.
+_ALIASES = {"expander": "random-regular", "random_regular": "random-regular"}
+
+
+def resolve_topology_name(name: str) -> str:
+    """Canonical generator name for ``name`` (aliases resolved)."""
+    key = str(name).strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _GENERATORS:
+        raise ValueError(
+            f"unknown topology {name!r}; supported: {TOPOLOGY_NAMES} "
+            f"(aliases: {tuple(sorted(_ALIASES))})"
+        )
+    return key
+
+
+def make_topology(name: str, n: int, *, seed: int = 0, **kwargs) -> "Topology":
+    """Build a named topology over ``n`` nodes, seeded and deterministic.
+
+    ``kwargs`` are generator-specific: ``torus`` takes ``rows``/``cols``
+    (default: the near-square factorisation of ``n``), ``random-regular``
+    takes ``degree`` (default 4), ``clusters`` takes ``clusters``
+    (default 2) and ``bridges`` (cross edges between consecutive
+    clusters, default 1).  The same ``(name, n, seed, kwargs)`` always
+    yields the same graph.  Connectivity is checked here — a generator
+    parameterised into a disconnected graph fails fast with the
+    :func:`validate_topology` diagnostic instead of silently starving
+    components mid-run.
+    """
+    key = resolve_topology_name(name)
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    rng = np.random.default_rng(seed)
+    try:
+        graph = _GENERATORS[key](n, rng, **kwargs)
+    except TypeError as exc:
+        raise ValueError(f"bad topology kwargs for {key!r}: {exc}") from None
+    topology = Topology.from_graph(key, graph, n)
+    validate_topology(topology, n)
+    return topology
+
+
+# -- validation ---------------------------------------------------------------
+
+def _as_topology(graph: Union[Topology, nx.Graph], n: int) -> Topology:
+    if isinstance(graph, Topology):
+        if graph.n != n:
+            raise ValueError(
+                f"topology is over n={graph.n} nodes but n={n} was expected"
+            )
+        return graph
+    return Topology.from_graph("graph", graph, n)
+
+
+def validate_topology(
+    graph: Union[Topology, nx.Graph], n: int, *, t: Optional[int] = None
+) -> None:
+    """Structural diagnostics for a topology, with actionable errors.
+
+    Always checked: the node set covers exactly ``0..n-1`` and the graph
+    is **connected** — a disconnected topology silently partitions the
+    protocol (each component converges on its own, which looks like a
+    successful run while being a different experiment entirely).
+
+    With ``t`` given, additionally checks **quorum feasibility** for
+    full approximate agreement: every node must be able to receive the
+    ``n - t`` quorum, i.e. have closed degree (neighbours + self) of at
+    least ``n - t``.  Sparser graphs are still usable with gossip-style
+    neighbourhood averaging (``exchange='gossip'``), which only needs
+    connectivity.
+    """
+    topology = _as_topology(graph, n)
+    components = topology.connected_components()
+    if len(components) > 1:
+        preview = ", ".join(str(c[:6]) for c in components[:3])
+        raise ValueError(
+            f"topology {topology.name!r} is disconnected "
+            f"({len(components)} components: {preview}...); messages can never "
+            f"cross components, so the protocol silently degenerates to "
+            f"per-component runs.  Add bridging edges (clusters topology: "
+            f"bridges >= 1) or pick a connected generator."
+        )
+    if t is not None:
+        quorum = n - int(t)
+        closed = topology.min_degree + 1
+        if closed < quorum:
+            worst = int(topology.degrees.argmin())
+            raise ValueError(
+                f"topology {topology.name!r} cannot sustain the agreement "
+                f"quorum: node {worst} can receive at most {closed} messages "
+                f"per round (closed degree) but n - t = {n} - {t} = {quorum} "
+                f"are required.  Use a denser topology (e.g. "
+                f"random-regular with degree >= {quorum - 1}) or switch the "
+                f"trainer to exchange='gossip', which only needs connectivity."
+            )

@@ -107,6 +107,24 @@ def run_cell(payload: dict) -> dict:
         from repro.analysis.reporting import node_stats_summary
 
         summary["node"] = node_stats_summary(history.node_stats)
+    if config.topology != "complete":
+        # Sparse-topology cells carry the graph's shape next to the
+        # delivery stats (and, with node_trace on, the per-node delivery
+        # counters normalised by each node's closed degree).  Complete
+        # cells elide the key entirely — row byte-identity again.
+        from repro.analysis.reporting import topology_delivery_summary
+        from repro.network.topology import make_topology
+        from repro.utils.rng import stable_component_seed
+
+        topology = make_topology(
+            config.topology,
+            config.num_clients,
+            seed=stable_component_seed(config.seed, "topology", config.topology),
+            **config.topology_kwargs,
+        )
+        summary["topology"] = topology_delivery_summary(
+            topology, history.node_stats
+        )
     return {
         "schema": ROW_SCHEMA_VERSION,
         "index": payload["index"],
@@ -540,6 +558,112 @@ def default_owner_id() -> str:
     ours", or every cell would run twice.
     """
     return f"{socket.gethostname()}:{os.getpid()}:{threading.get_ident()}"
+
+
+def lease_keys_for_cells(cells: Sequence) -> Dict[str, str]:
+    """Map each cell id to its lease-file key under the grid's namespace.
+
+    The namespace is the grid fingerprint — the same one
+    :class:`ShardBackend` folds into its :class:`LeaseStore` — so the
+    returned keys are exactly the ``<key>.lease`` / ``<key>.done`` base
+    names a sweep over ``cells`` produces.
+    """
+    namespace = grid_fingerprint(cells)
+    return {cell.cell_id: _lease_key(cell.cell_id, namespace) for cell in cells}
+
+
+def scan_lease_dir(lease_dir: PathLike, *, timeout: float = 300.0) -> dict:
+    """Aggregate per-shard sweep progress from a lease directory.
+
+    Reads every ``<key>.lease`` / ``<key>.done`` pair a
+    :class:`LeaseStore` fleet has written and returns a JSON-safe
+    summary: totals (``done_ok`` / ``done_failed`` / ``in_progress`` /
+    ``stale``), a per-owner breakdown, and the per-key state mapping
+    (``keys``) so callers holding the grid (via
+    :func:`lease_keys_for_cells`) can compute unclaimed cells.  A lease
+    without a done marker whose mtime age exceeds ``timeout`` counts as
+    **stale** — its owner is presumed dead and any live worker will
+    reclaim it.  Read-only: never mutates the directory, so it is safe
+    to run next to an active fleet.
+    """
+    root = Path(lease_dir)
+    if not root.is_dir():
+        raise FileNotFoundError(f"lease dir {root} does not exist")
+    if timeout <= 0:
+        raise ValueError(f"lease timeout must be > 0, got {timeout}")
+    now = time.time()
+    leases: Dict[str, dict] = {}
+    dones: Dict[str, dict] = {}
+    for path in sorted(root.iterdir()):
+        name = path.name
+        if name.endswith(".tmp"):
+            continue  # a writer mid-os.replace
+        if name.endswith(".lease"):
+            key = name[: -len(".lease")]
+            try:
+                age = max(0.0, now - path.stat().st_mtime)
+            except FileNotFoundError:
+                continue  # released between listing and stat
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                data = {}  # mid-write; owner unknown
+            owner = data.get("owner")
+            leases[key] = {
+                "owner": str(owner) if owner is not None else None,
+                "age": age,
+            }
+        elif name.endswith(".done"):
+            key = name[: -len(".done")]
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                data = {}
+            owner = data.get("owner")
+            dones[key] = {
+                "ok": bool(data.get("ok", False)),
+                "owner": str(owner) if owner is not None else None,
+            }
+
+    owners: Dict[str, Dict[str, int]] = {}
+
+    def owner_row(owner: Optional[str]) -> Dict[str, int]:
+        return owners.setdefault(
+            owner or "<unknown>",
+            {"claimed": 0, "stale": 0, "done_ok": 0, "done_failed": 0},
+        )
+
+    keys: Dict[str, str] = {}
+    totals = {"done_ok": 0, "done_failed": 0, "in_progress": 0, "stale": 0}
+    for key, entry in dones.items():
+        row = owner_row(entry["owner"])
+        if entry["ok"]:
+            totals["done_ok"] += 1
+            row["done_ok"] += 1
+            keys[key] = "done"
+        else:
+            totals["done_failed"] += 1
+            row["done_failed"] += 1
+            keys[key] = "failed"
+    for key, entry in leases.items():
+        if key in dones:
+            continue
+        row = owner_row(entry["owner"])
+        row["claimed"] += 1
+        totals["in_progress"] += 1
+        if entry["age"] > timeout:
+            totals["stale"] += 1
+            row["stale"] += 1
+            keys[key] = "stale"
+        else:
+            keys[key] = "claimed"
+    return {
+        "lease_dir": str(root),
+        "timeout": float(timeout),
+        **totals,
+        "owners": {name: owners[name] for name in sorted(owners)},
+        "keys": keys,
+    }
 
 
 def _owner_is_dead_local_process(owner: Optional[str]) -> bool:

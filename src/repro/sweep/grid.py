@@ -44,6 +44,17 @@ def config_to_dict(config: ExperimentConfig) -> dict:
     # pre-flag format (row byte-identity is a pinned-fixture contract).
     if not data.get("node_trace"):
         data.pop("node_trace", None)
+    # Same contract for the topology/exchange axes: a complete-topology
+    # agreement config serialises exactly as it did before the fields
+    # existed, so pinned sweep-row fixtures and resume files from older
+    # runs stay byte-identical and loadable.
+    if data.get("topology") == "complete":
+        data.pop("topology", None)
+        data.pop("topology_kwargs", None)
+    elif not data.get("topology_kwargs"):
+        data.pop("topology_kwargs", None)
+    if data.get("exchange") == "agreement":
+        data.pop("exchange", None)
     return data
 
 
