@@ -75,6 +75,92 @@ def build_info() -> Dict[str, object]:
     }
 
 
+def artifact_headlines(payload: Dict[str, object]) -> Dict[str, float]:
+    """Comparable headline metrics of a BENCH_* artifact, keyed stably.
+
+    Two shapes exist in the suite and both are handled:
+
+    * ``cases``-style artifacts (message plane, rng modes): one metric
+      per case row — ``rounds_per_sec``, keyed by the row's identity
+      fields (label plus whichever of plane / rng_mode / n / d are
+      present).  ``rounds`` is deliberately *not* part of the key:
+      rounds/sec is already per-round, so a smoke run (few rounds) is
+      comparable against a full-run baseline (more rounds).
+    * headline-dict artifacts (subset kernels): every top-level section
+      whose value is a mapping contributes its ``*_speedup`` entries,
+      keyed ``section:name``.
+
+    Every metric is higher-is-better, which is what
+    :func:`compare_to_baseline` assumes.
+    """
+    headlines: Dict[str, float] = {}
+    for row in payload.get("cases", []) or []:
+        if not isinstance(row, dict) or "rounds_per_sec" not in row:
+            continue
+        parts = [str(row.get("label", row.get("scheduler", "case")))]
+        for field in ("plane", "rng_mode", "n", "d"):
+            if field in row:
+                parts.append(f"{field}={row[field]}")
+        headlines["case:" + "|".join(parts)] = float(row["rounds_per_sec"])
+    for section, value in payload.items():
+        if section in ("cases", "build") or not isinstance(value, dict):
+            continue
+        for name, metric in value.items():
+            if name.endswith("_speedup") and isinstance(metric, (int, float)):
+                headlines[f"{section}:{name}"] = float(metric)
+    return headlines
+
+
+def compare_to_baseline(
+    fresh: Dict[str, object],
+    baseline: Dict[str, object],
+    *,
+    max_regression: float = 0.30,
+) -> Dict[str, List[str]]:
+    """Compare a fresh BENCH_* artifact against its committed baseline.
+
+    Returns ``{"failures": [...], "warnings": [...], "info": [...]}``.
+    A headline shared by both artifacts that regressed by more than
+    ``max_regression`` (fractional, against the baseline) is a failure —
+    unless the two ``build`` fingerprints differ, in which case every
+    regression is demoted to a warning: timings from different
+    numpy/BLAS/machine combinations are not comparable enough to gate
+    on (see :func:`build_info`).  Headlines present on only one side
+    are informational (grids and smoke subsets legitimately differ).
+    """
+    report: Dict[str, List[str]] = {"failures": [], "warnings": [], "info": []}
+    same_build = fresh.get("build") == baseline.get("build")
+    if not same_build:
+        report["warnings"].append(
+            "build fingerprints differ: regressions are warn-only"
+        )
+    fresh_headlines = artifact_headlines(fresh)
+    base_headlines = artifact_headlines(baseline)
+    shared = sorted(set(fresh_headlines) & set(base_headlines))
+    if not shared:
+        report["warnings"].append("no shared headline metrics to compare")
+    for key in shared:
+        base = base_headlines[key]
+        new = fresh_headlines[key]
+        if base <= 0:
+            report["info"].append(f"{key}: baseline metric is {base}, skipped")
+            continue
+        regression = 1.0 - new / base
+        line = f"{key}: {base:.2f} -> {new:.2f} ({-regression:+.1%})"
+        if regression > max_regression:
+            (report["failures"] if same_build else report["warnings"]).append(
+                f"{line} exceeds the {max_regression:.0%} regression budget"
+            )
+        else:
+            report["info"].append(line)
+    only = sorted(set(fresh_headlines) ^ set(base_headlines))
+    if only:
+        report["info"].append(
+            f"{len(only)} headline(s) present on one side only (ignored)"
+        )
+    return report
+
+
 @dataclass
 class FigureSpec:
     """One figure: a set of named experiment configurations."""

@@ -220,8 +220,10 @@ def sweep_summary_table(
     axis_names = (
         list(axis_names) if axis_names is not None else _recover_axis_names(rows)
     )
+    # Rows written before an axis existed render '-' (not an invisible
+    # blank) in that column — e.g. pre-``rng_mode`` archives.
     widths = {
-        name: max(len(name), *(len(str(row["axes"].get(name, ""))) for row in rows))
+        name: max(len(name), *(len(str(row["axes"].get(name, "-"))) for row in rows))
         for name in axis_names
     }
     # Cells run on non-synchronous schedulers carry their delivery
@@ -246,7 +248,7 @@ def sweep_summary_table(
     for row in sorted(rows, key=lambda r: r.get("index", 0)):
         summary = row.get("summary", {})
         cols = " ".join(
-            f"{str(row['axes'].get(name, '')):<{widths[name]}s}" for name in axis_names
+            f"{str(row['axes'].get(name, '-')):<{widths[name]}s}" for name in axis_names
         )
         if "error" in row:
             # A cell that kept raising streamed an error row in place of

@@ -280,7 +280,10 @@ def _row_schema_current(row: Mapping[str, object]) -> bool:
 def _group_key(
     axes: Mapping[str, object], group_by: Sequence[str]
 ) -> GroupKey:
-    return tuple(str(axes.get(name, "")) for name in group_by)
+    # A row written before an axis existed (e.g. pre-``rng_mode`` rows)
+    # has no value for it; render '-' rather than an invisible blank so
+    # the group label stays readable.
+    return tuple(str(axes[name]) if name in axes else "-" for name in group_by)
 
 
 def _classify_row(history: Mapping[str, object]) -> Optional[str]:
@@ -360,12 +363,20 @@ def analyze_sweep_rows(
         if resolved_group_by is None:
             resolved_group_by = list(analysis.axis_names)
             analysis.group_by = list(resolved_group_by)
+        # A group-by name absent from this row's axes is only an error
+        # when it is not a config field at all — a row written before an
+        # axis existed (a sweep predating ``rng_mode``, say) groups
+        # under the '-' placeholder instead of aborting the whole pass.
         unknown = [name for name in resolved_group_by if name not in axes]
         if unknown:
-            raise ValueError(
-                f"group-by axis {unknown[0]!r} is not an axis of row "
-                f"{row.get('cell_id')!r}; available: {sorted(axes)}"
-            )
+            from repro.sweep.grid import CONFIG_FIELDS
+
+            bogus = [name for name in unknown if name not in CONFIG_FIELDS]
+            if bogus:
+                raise ValueError(
+                    f"group-by axis {bogus[0]!r} is not an axis of row "
+                    f"{row.get('cell_id')!r}; available: {sorted(axes)}"
+                )
 
         key = _group_key(axes, resolved_group_by)
         group = analysis.groups.get(key)

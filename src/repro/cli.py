@@ -60,7 +60,7 @@ from repro.analysis.reporting import (
     sweep_summary_table,
 )
 from repro.byzantine.registry import available_attacks
-from repro.engine import SCHEDULER_NAMES
+from repro.engine import RNG_MODES, SCHEDULER_NAMES
 from repro.io.results import metric_from_json, save_histories
 from repro.learning.experiment import ExperimentConfig, run_experiment
 from repro.learning.history import TrainingHistory
@@ -128,6 +128,12 @@ def _experiment_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--burstiness", type=float, default=0.0,
                         help="probability of entering the bursty delay regime per "
                              "round (scheduler=asynchronous only)")
+    parser.add_argument("--rng-mode", choices=RNG_MODES, default="scalar",
+                        help="RNG draw strategy of the stochastic schedulers: "
+                             "'scalar' (bitwise-pinned reference) or "
+                             "'vectorized' (batched whole-round draws, "
+                             "statistically equivalent; scheduler=partial/"
+                             "asynchronous only — see docs/performance.md)")
     parser.add_argument("--node-trace", action="store_true",
                         help="record per-node delivery counters (batch message "
                              "plane; non-synchronous schedulers only)")
@@ -158,6 +164,7 @@ def _build_config(args: argparse.Namespace, aggregation: str) -> ExperimentConfi
         wait_count=args.wait_count,
         wait_timeout=args.wait_timeout,
         burstiness=args.burstiness,
+        rng_mode=getattr(args, "rng_mode", "scalar"),
         node_trace=getattr(args, "node_trace", False),
         topology=getattr(args, "topology", "complete"),
         topology_kwargs=getattr(args, "topology_kwargs", None) or {},
@@ -559,15 +566,26 @@ def _cmd_sweep_status(args: argparse.Namespace) -> int:
             print(f"invalid sweep spec: {exc}", file=sys.stderr)
             return 2
         known = status["keys"]
-        unclaimed = sum(1 for key in keys.values() if key not in known)
-        line += f"  unclaimed: {unclaimed}  total: {len(keys)}"
-        foreign = sorted(set(known) - set(keys.values()))
-        if foreign:
-            # Lease keys are namespaced by the grid fingerprint, so
-            # markers from another spec (or schema version) in the same
-            # directory are invisible to this sweep's workers — but the
-            # operator pointing `status` at the wrong spec should see it.
-            line += f"  (+{len(foreign)} lease(s) from a different spec)"
+        spec_keys = set(keys.values())
+        if known and not (spec_keys & set(known)):
+            # Lease keys are namespaced by the grid fingerprint, so a
+            # spec whose axes differ from the one the fleet ran (wrong
+            # file, edited grid, older schema) matches *nothing* — every
+            # cell would count as unclaimed and every lease as done-
+            # elsewhere, both misleading.  Name the mismatch instead.
+            line += (f"  total: {len(keys)}  (foreign spec: none of the "
+                     f"{len(known)} lease(s) here match this spec's grid "
+                     f"fingerprint — unclaimed counts would be meaningless)")
+        else:
+            unclaimed = sum(1 for key in keys.values() if key not in known)
+            line += f"  unclaimed: {unclaimed}  total: {len(keys)}"
+            foreign = sorted(set(known) - spec_keys)
+            if foreign:
+                # Markers from another spec (or schema version) in the
+                # same directory are invisible to this sweep's workers —
+                # but the operator pointing `status` at the wrong spec
+                # should see them.
+                line += f"  (+{len(foreign)} lease(s) from a different spec)"
     print(line)
     if status["owners"]:
         print("  per owner:")

@@ -26,7 +26,7 @@ engine (see :func:`repro.engine.rounds.run_exchange`); experiment
 configurations select a scheduler by name through
 :func:`make_scheduler`, which is what the ``scheduler`` / ``delay`` /
 ``drop_rate`` / ``crash_schedule`` / ``wait_count`` / ``wait_timeout`` /
-``burstiness`` sweep axes feed.
+``burstiness`` / ``rng_mode`` sweep axes feed.
 """
 
 from __future__ import annotations
@@ -34,7 +34,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from repro.engine.asynchronous import AsynchronousScheduler
-from repro.engine.base import RoundEngine, WaitCondition
+from repro.engine.base import RNG_MODES, RoundEngine, WaitCondition, resolve_rng_mode
 from repro.engine.lossy import LossyScheduler, normalise_crash_schedule
 from repro.engine.partial import PartiallySynchronousScheduler
 from repro.engine.rounds import attack_adversary_plan, run_exchange
@@ -67,6 +67,7 @@ def make_scheduler(
     message_plane: Optional[str] = None,
     node_trace: bool = False,
     topology: Optional[Topology] = None,
+    rng_mode: Optional[str] = None,
 ) -> RoundEngine:
     """Instantiate a scheduler by name.
 
@@ -84,9 +85,15 @@ def make_scheduler(
     / ``node_trace`` select the delivery representation and per-node
     trace recording (see :class:`RoundEngine`); ``topology`` installs a
     sparse communication graph every scheduler intersects with its own
-    delivery decisions (``None`` = all-to-all).
+    delivery decisions (``None`` = all-to-all).  ``rng_mode`` selects
+    the draw strategy of the stochastic schedulers (``"scalar"`` =
+    bitwise reference, ``"vectorized"`` = batched whole-round draws with
+    a statistical contract; ``None`` reads ``REPRO_RNG_MODE``) — the
+    deterministic synchronous scheduler and the lossy scheduler have no
+    vectorizable delay stream, so ``"vectorized"`` is an error there.
     """
     key = str(name).strip().lower()
+    mode = resolve_rng_mode(rng_mode)
     common = dict(
         keep_history=keep_history,
         max_history=max_history,
@@ -99,6 +106,11 @@ def make_scheduler(
         raise ValueError(
             "wait_count/wait_timeout/burstiness are only meaningful for "
             "scheduler='asynchronous'"
+        )
+    if key not in ("partial", "asynchronous") and rng_mode is not None and mode != "scalar":
+        raise ValueError(
+            "rng_mode='vectorized' is only meaningful for the stochastic-delay "
+            "schedulers ('partial', 'asynchronous')"
         )
     if key == "synchronous":
         if delay or drop_rate or tuple(crash_schedule):
@@ -115,7 +127,8 @@ def make_scheduler(
         if delay < 1:
             raise ValueError("scheduler='partial' needs a delivery horizon delay >= 1")
         return PartiallySynchronousScheduler(
-            n, byzantine, max_delay=delay, delay_prob=delay_prob, seed=seed, **common
+            n, byzantine, max_delay=delay, delay_prob=delay_prob, seed=seed,
+            rng_mode=mode, **common,
         )
     if key == "lossy":
         if delay:
@@ -139,7 +152,7 @@ def make_scheduler(
             )
         return AsynchronousScheduler(
             n, byzantine, wait_count=wait_count, timeout_rounds=wait_timeout,
-            burstiness=burstiness, seed=seed, **common,
+            burstiness=burstiness, seed=seed, rng_mode=mode, **common,
         )
     raise ValueError(f"unknown scheduler {name!r}; available: {SCHEDULER_NAMES}")
 
@@ -149,6 +162,7 @@ __all__ = [
     "LossyScheduler",
     "MESSAGE_PLANES",
     "PartiallySynchronousScheduler",
+    "RNG_MODES",
     "RoundEngine",
     "SCHEDULER_NAMES",
     "SynchronousScheduler",
@@ -157,5 +171,6 @@ __all__ = [
     "make_scheduler",
     "normalise_crash_schedule",
     "resolve_message_plane",
+    "resolve_rng_mode",
     "run_exchange",
 ]

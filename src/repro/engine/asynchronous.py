@@ -38,7 +38,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.base import RoundEngine
+from repro.engine.base import RoundEngine, resolve_rng_mode
 from repro.network.batch import BatchInbox, RoundBatch
 from repro.network.message import Message
 from repro.network.reliable_broadcast import BroadcastPlan
@@ -90,6 +90,16 @@ class AsynchronousScheduler(RoundEngine):
         condition (``0`` leaves it unset for consumers to fill in).
     seed:
         Seed of the scheduler's delay/regime generator.
+    rng_mode:
+        ``"scalar"`` (default) applies the Pareto transform through
+        Python-float arithmetic, bitwise-identical to the pinned
+        per-message reference.  ``"vectorized"`` runs the transform as
+        one numpy expression over the whole round's uniforms — same
+        draw count and order, but numpy's SIMD ``pow`` differs from
+        scalar ``pow`` by an ulp on a few percent of inputs, so the
+        mode is validated statistically (``tests/test_rng_modes.py``)
+        and requires the batch message plane.  ``None`` reads
+        ``REPRO_RNG_MODE``.
     """
 
     records_stats = True
@@ -113,6 +123,7 @@ class AsynchronousScheduler(RoundEngine):
         message_plane: Optional[str] = None,
         node_trace: bool = False,
         topology=None,
+        rng_mode: Optional[str] = None,
     ) -> None:
         super().__init__(
             n, byzantine, keep_history=keep_history, max_history=max_history,
@@ -120,6 +131,12 @@ class AsynchronousScheduler(RoundEngine):
             message_plane=message_plane, node_trace=node_trace,
             topology=topology,
         )
+        self.rng_mode = resolve_rng_mode(rng_mode)
+        if self.rng_mode == "vectorized" and self.message_plane != "batch":
+            raise ValueError(
+                "rng_mode='vectorized' requires the batch message plane "
+                "(the object plane is the per-message bitwise reference)"
+            )
         if delay_scale < 0.0:
             raise ValueError(f"delay_scale must be non-negative, got {delay_scale}")
         if tail_index <= 1.0:
@@ -268,19 +285,27 @@ class AsynchronousScheduler(RoundEngine):
             k = int(row_idx.shape[0])
             # Common random numbers: one stream-identical vectorized fill
             # for the k delivering links in the object plane's C-order
-            # walk (sender asc, receiver asc).  The Pareto transform runs
-            # through Python-float arithmetic because numpy's SIMD pow
-            # kernel differs from scalar pow by an ulp on ~5% of inputs;
-            # the subsequent burst/shift arithmetic is elementwise and
-            # therefore bitwise-identical either way.
+            # walk (sender asc, receiver asc).
             variates = self._rng.random(size=k)
             scale = self.delay_scale
             power = -1.0 / self.tail_index
-            lags = np.fromiter(
-                (scale * ((1.0 - u) ** power - 1.0) for u in variates.tolist()),
-                dtype=np.float64,
-                count=k,
-            )
+            if self.rng_mode == "vectorized":
+                # Whole-round Pareto transform as one numpy expression.
+                # Same uniforms, but SIMD pow differs from scalar pow by
+                # an ulp on a few percent of inputs — the statistical
+                # (not bitwise) contract of vectorized mode.
+                lags = scale * ((1.0 - variates) ** power - 1.0)
+            else:
+                # Scalar mode keeps Python-float arithmetic because
+                # numpy's SIMD pow kernel differs from scalar pow by an
+                # ulp on ~5% of inputs; the subsequent burst/shift
+                # arithmetic is elementwise and therefore
+                # bitwise-identical either way.
+                lags = np.fromiter(
+                    (scale * ((1.0 - u) ** power - 1.0) for u in variates.tolist()),
+                    dtype=np.float64,
+                    count=k,
+                )
             if self._bursty:
                 lags *= self.burst_factor
             link_senders = batch.senders[row_idx]

@@ -48,6 +48,31 @@ from repro.network.message import Message
 from repro.network.reliable_broadcast import BroadcastPlan, ReliableBroadcast
 from repro.network.topology import Topology
 
+#: RNG draw strategies of the stochastic schedulers.  ``"scalar"`` is
+#: the pinned reference: per-link draws in the exact order the bitwise
+#: equivalence fixtures were generated with.  ``"vectorized"`` draws
+#: whole-round vectors instead — a different (but identically
+#: distributed) stream, validated statistically in
+#: ``tests/test_rng_modes.py`` rather than bitwise.
+RNG_MODES = ("scalar", "vectorized")
+
+
+def resolve_rng_mode(mode: Optional[str]) -> str:
+    """Normalise an ``rng_mode`` selector to a canonical mode name.
+
+    ``None`` reads the ``REPRO_RNG_MODE`` environment variable and
+    falls back to ``"scalar"`` — the bitwise-pinned default, mirroring
+    how ``message_plane=None`` resolves through ``REPRO_MESSAGE_PLANE``.
+    """
+    if mode is None:
+        mode = os.environ.get("REPRO_RNG_MODE") or None
+    if mode is None:
+        return "scalar"
+    key = str(mode).strip().lower()
+    if key not in RNG_MODES:
+        raise ValueError(f"unknown rng_mode {mode!r}; available: {RNG_MODES}")
+    return key
+
 
 @dataclass(frozen=True)
 class WaitCondition:
@@ -137,6 +162,10 @@ class RoundEngine(abc.ABC):
     horizon: int = 0
     #: Whether this scheduler produces delivery statistics worth reporting.
     records_stats: bool = False
+    #: RNG draw strategy (see :data:`RNG_MODES`).  Deterministic
+    #: schedulers are trivially ``"scalar"``; the stochastic ones accept
+    #: an ``rng_mode`` parameter and override this per instance.
+    rng_mode: str = "scalar"
 
     def __init__(
         self,

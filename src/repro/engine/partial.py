@@ -21,7 +21,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.engine.base import RoundEngine
+from repro.engine.base import RoundEngine, resolve_rng_mode
 from repro.network.batch import BatchInbox, RoundBatch
 from repro.network.message import Message
 from repro.network.reliable_broadcast import BroadcastPlan
@@ -47,6 +47,14 @@ class PartiallySynchronousScheduler(RoundEngine):
     seed:
         Seed of the scheduler's own generator — independent from the
         experiment's honest and adversarial streams.
+    rng_mode:
+        ``"scalar"`` (default) walks the drawing links one at a time in
+        the pinned fixture order — bitwise-identical to the historical
+        stream.  ``"vectorized"`` replaces that loop with one Bernoulli
+        vector plus one lag vector per round: identically distributed
+        but a *different* stream, so it is validated statistically (see
+        ``tests/test_rng_modes.py``) and requires the batch message
+        plane.  ``None`` reads ``REPRO_RNG_MODE``.
     """
 
     records_stats = True
@@ -65,6 +73,7 @@ class PartiallySynchronousScheduler(RoundEngine):
         message_plane: Optional[str] = None,
         node_trace: bool = False,
         topology=None,
+        rng_mode: Optional[str] = None,
     ) -> None:
         super().__init__(
             n, byzantine, keep_history=keep_history, max_history=max_history,
@@ -72,6 +81,12 @@ class PartiallySynchronousScheduler(RoundEngine):
             message_plane=message_plane, node_trace=node_trace,
             topology=topology,
         )
+        self.rng_mode = resolve_rng_mode(rng_mode)
+        if self.rng_mode == "vectorized" and self.message_plane != "batch":
+            raise ValueError(
+                "rng_mode='vectorized' requires the batch message plane "
+                "(the object plane is the per-message bitwise reference)"
+            )
         if max_delay < 0:
             raise ValueError(f"max_delay must be non-negative, got {max_delay}")
         if not 0.0 <= delay_prob <= 1.0:
@@ -166,18 +181,33 @@ class PartiallySynchronousScheduler(RoundEngine):
                             lag[i, recv] = min(int(pinned), self.max_delay)
                             nodraw[i, recv] = True
             if self.max_delay > 0 and self.delay_prob > 0.0:
-                # The RNG stream interleaves a per-link uniform with a
-                # *conditional* integers() draw, so this stays a scalar
-                # loop — but only over the drawing links, walked in the
-                # object plane's C-order (sender asc, receiver asc).
                 draw_mask = ~nodraw if active is None else (active & ~nodraw)
                 rng = self._rng
                 prob = self.delay_prob
                 high = self.max_delay + 1
                 flat_lag = lag.reshape(-1)
-                for pos in np.flatnonzero(draw_mask.reshape(-1)).tolist():
-                    if rng.random() < prob:
-                        flat_lag[pos] = int(rng.integers(1, high))
+                positions = np.flatnonzero(draw_mask.reshape(-1))
+                if self.rng_mode == "vectorized":
+                    # One Bernoulli vector over the k drawing links plus
+                    # one lag vector over the m slow ones.  Same
+                    # marginal distribution as the scalar walk, but the
+                    # integers() draws no longer interleave with the
+                    # uniforms — a different stream by construction.
+                    slow = rng.random(positions.size) < prob
+                    num_slow = int(np.count_nonzero(slow))
+                    if num_slow:
+                        flat_lag[positions[slow]] = rng.integers(
+                            1, high, size=num_slow
+                        )
+                else:
+                    # The pinned stream interleaves a per-link uniform
+                    # with a *conditional* integers() draw, so this
+                    # stays a scalar loop — but only over the drawing
+                    # links, walked in the object plane's C-order
+                    # (sender asc, receiver asc).
+                    for pos in positions.tolist():
+                        if rng.random() < prob:
+                            flat_lag[pos] = int(rng.integers(1, high))
             lag_zero = lag == 0
             if active is None:
                 now_mask = lag_zero

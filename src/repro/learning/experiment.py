@@ -85,6 +85,13 @@ class ExperimentConfig:
     wait_count: int = 0
     wait_timeout: float = 0.0
     burstiness: float = 0.0
+    # RNG draw strategy of the stochastic schedulers (see
+    # repro.engine.base.RNG_MODES): "scalar" reproduces the pinned
+    # bitwise reference stream; "vectorized" draws whole-round vectors —
+    # identically distributed but a different stream, validated
+    # statistically.  Only meaningful for scheduler in
+    # ("partial", "asynchronous").
+    rng_mode: str = "scalar"
     # Precision tier of the aggregation kernels (see
     # repro.linalg.precision): "float64" reproduces the historical
     # results bit for bit, "float32" halves kernel bandwidth and is
@@ -150,6 +157,14 @@ class ExperimentConfig:
                     and self.burstiness == 0.0,
                     "wait_count/wait_timeout/burstiness are only meaningful for "
                     "scheduler='asynchronous'")
+        from repro.engine import RNG_MODES
+
+        require(self.rng_mode in RNG_MODES,
+                f"unknown rng_mode {self.rng_mode!r}; available: {RNG_MODES}")
+        if self.rng_mode != "scalar":
+            require(self.scheduler in ("partial", "asynchronous"),
+                    "rng_mode='vectorized' is only meaningful for the stochastic-"
+                    "delay schedulers ('partial', 'asynchronous')")
         if self.node_trace:
             require(self.scheduler != "synchronous",
                     "node_trace records per-node delivery rows; the synchronous "
@@ -373,6 +388,7 @@ def _make_engine(
         require_full_broadcast=not star,
         node_trace=config.node_trace,
         topology=topology,
+        rng_mode=config.rng_mode,
     )
 
 

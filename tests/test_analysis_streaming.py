@@ -191,6 +191,36 @@ class TestAnalyzeSweepRows:
         with pytest.raises(ValueError, match="not an axis"):
             analyze_sweep_rows(rows, group_by=["nope"])
 
+    def test_rows_predating_an_axis_group_under_placeholder(self):
+        """Stale-schema tolerance: grouping by an axis older rows lack.
+
+        A config field that became a sweep axis later (``rng_mode``) is
+        absent from archived rows; those rows group under '-' instead of
+        aborting the pass or rendering an invisible blank.
+        """
+        rows = [
+            make_row(0, {"scheduler": "partial"}, final=0.4),
+            make_row(1, {"scheduler": "partial", "rng_mode": "vectorized"},
+                     final=0.6),
+        ]
+        analysis = analyze_sweep_rows(rows, group_by=["rng_mode"])
+        assert set(analysis.groups) == {("-",), ("vectorized",)}
+        assert analysis.group_label(("-",)) == "rng_mode=-"
+        table = analysis_table(analysis)
+        assert "rng_mode=-" in table and "rng_mode=vectorized" in table
+
+    def test_summary_table_renders_dash_for_missing_axis(self):
+        from repro.analysis.reporting import sweep_summary_table
+
+        rows = [
+            make_row(0, {"scheduler": "partial"}),
+            make_row(1, {"scheduler": "partial", "rng_mode": "vectorized"}),
+        ]
+        table = sweep_summary_table(rows, axis_names=["scheduler", "rng_mode"])
+        lines = table.splitlines()
+        assert any("partial" in line and " - " in f" {line} " for line in lines), table
+        assert any("vectorized" in line for line in lines)
+
     def test_error_rows_tallied_never_trusted(self):
         rows = [
             make_row(0, {"a": "x"}, final=0.5),

@@ -525,3 +525,51 @@ class TestLeaseStatus:
         code = main(["sweep", "status", "--lease-dir", str(tmp_path / "nope")])
         assert code == 2
         assert "does not exist" in capsys.readouterr().err
+
+    def _write_spec(self, path, axes):
+        from repro.sweep.grid import config_to_dict
+
+        base = config_to_dict(tiny_config(exchange="gossip"))
+        self._write(path, {"base": base, "axes": axes})
+
+    def test_cli_status_foreign_spec_named(self, tmp_path, capsys):
+        """A spec whose fingerprint matches no lease says so, loudly.
+
+        Lease keys are namespaced by the grid fingerprint, so pointing
+        ``status`` at the wrong spec used to report every cell as
+        unclaimed and every lease as from "a different spec" — reading
+        like a sweep that never started.  The mismatch is now named.
+        """
+        from repro.cli import main
+        from repro.sweep.executors import lease_keys_for_cells
+        from repro.sweep.grid import ScenarioGrid
+
+        lease_dir = tmp_path / "leases"
+        lease_dir.mkdir()
+        ran_spec = tmp_path / "ran.json"
+        self._write_spec(ran_spec, {"topology": ["complete", "ring"]})
+        grid = ScenarioGrid.from_spec(
+            json.loads(ran_spec.read_text(encoding="utf-8"))
+        )
+        for key in lease_keys_for_cells(list(grid.validate())).values():
+            self._write(lease_dir / f"{key}.done", {"ok": True, "owner": "w1"})
+
+        # The matching spec reports exact progress: all cells done.
+        code = main(["sweep", "status", "--lease-dir", str(lease_dir),
+                     "--spec", str(ran_spec)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "unclaimed: 0" in out and "total: 2" in out
+        assert "foreign spec" not in out
+
+        # A foreign spec (different axes -> different fingerprint) is
+        # diagnosed instead of rendering misleading unclaimed counts.
+        other_spec = tmp_path / "other.json"
+        self._write_spec(other_spec, {"seed": [0, 1, 2]})
+        code = main(["sweep", "status", "--lease-dir", str(lease_dir),
+                     "--spec", str(other_spec)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "foreign spec" in out
+        assert "unclaimed:" not in out
+        assert "total: 3" in out
